@@ -1,0 +1,143 @@
+// Command ncsearch runs a notable-characteristics search from the command
+// line.
+//
+//	ncsearch -dataset yago -q "Angela Merkel,Barack Obama" -k 100
+//	ncsearch -graph facts.tsv -q "Camera Alpha-7,Camera X-Pro9"
+//
+// The query is resolved against node names (fuzzy matching included), the
+// context is selected with ContextRW (or -selector randomwalk), and the
+// notable characteristics are printed with their scores and significance
+// probabilities.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "triple file (.tsv/.nt) or snapshot (.kgsnap) to load")
+		dataset   = flag.String("dataset", "", "built-in dataset: yago | lmdb | authors | products | figure1")
+		queryStr  = flag.String("q", "", "comma-separated query entity names (required)")
+		k         = flag.Int("k", 100, "context size |C|")
+		selector  = flag.String("selector", "contextrw", "context selector: contextrw | randomwalk | simrank | jaccard")
+		walks     = flag.Int("walks", 200000, "PathMining walk budget")
+		alpha     = flag.Float64("alpha", 0.05, "significance level")
+		policy    = flag.String("policy", "strict", "unseen-value policy: strict | pooled")
+		seed      = flag.Int64("seed", 1, "random seed")
+		showCtx   = flag.Int("show-context", 10, "context nodes to print")
+		showAll   = flag.Bool("all", false, "print non-notable characteristics too")
+	)
+	flag.Parse()
+
+	if *queryStr == "" {
+		fmt.Fprintln(os.Stderr, "ncsearch: -q is required (comma-separated entity names)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := loadGraph(*graphPath, *dataset, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncsearch:", err)
+		os.Exit(1)
+	}
+	fmt.Println("graph:", g.Stats())
+
+	engine := notable.NewEngine(g, notable.Options{
+		ContextSize: *k,
+		Selector:    *selector,
+		Walks:       *walks,
+		Alpha:       *alpha,
+		Policy:      *policy,
+		Seed:        *seed,
+	})
+
+	var names []string
+	for _, part := range strings.Split(*queryStr, ",") {
+		if s := strings.TrimSpace(part); s != "" {
+			names = append(names, s)
+		}
+	}
+	query, err := engine.Resolve(names...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncsearch:", err)
+		for _, n := range names {
+			if hits := engine.Suggest(n, 3); len(hits) > 0 {
+				fmt.Fprintf(os.Stderr, "  did you mean for %q:", n)
+				for _, h := range hits {
+					fmt.Fprintf(os.Stderr, " %q", h.Name)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Print("query:")
+	for _, id := range query {
+		fmt.Printf(" %q", g.NodeName(id))
+	}
+	fmt.Println()
+
+	res, err := engine.Search(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncsearch:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\ncontext (top %d of %d):\n", min(*showCtx, len(res.Context)), len(res.Context))
+	for i, item := range res.Context {
+		if i >= *showCtx {
+			break
+		}
+		fmt.Printf("  %2d. %-40s %.6f\n", i+1, g.NodeName(item.ID), item.Score)
+	}
+
+	fmt.Println("\nnotable characteristics:")
+	printed := 0
+	for _, c := range res.Characteristics {
+		if !c.Notable() && !*showAll {
+			continue
+		}
+		marker := " "
+		if c.Notable() {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-24s score=%.4f via %-11s  P(inst)=%.4f P(card)=%.4f\n",
+			marker, c.Name, c.Score, c.Kind, c.InstP, c.CardP)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("  (none at this significance level; try -all to see every label)")
+	}
+}
+
+func loadGraph(path, dataset string, seed int64) (*notable.Graph, error) {
+	switch {
+	case path != "":
+		return notable.LoadGraphFile(path)
+	case dataset == "yago" || dataset == "":
+		return gen.YAGOLike(gen.YAGOConfig{Seed: seed}).Graph, nil
+	case dataset == "lmdb":
+		return gen.LinkedMDBLike(gen.LMDBConfig{Seed: seed}).Graph, nil
+	case dataset == "authors":
+		return gen.Authors(seed).Graph, nil
+	case dataset == "products":
+		return gen.Products(seed).Graph, nil
+	case dataset == "figure1":
+		return gen.Figure1().Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

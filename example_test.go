@@ -1,0 +1,69 @@
+package notable_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleEngine_SearchNames reproduces the paper's Figure 1 walkthrough:
+// compared with other leaders, Angela Merkel has no children and studied
+// Physics rather than Law.
+func ExampleEngine_SearchNames() {
+	b := notable.NewBuilder(32)
+	b.AddEdge("Angela Merkel", "studied", "Physics")
+	for _, leader := range []string{"Barack Obama", "Vladimir Putin", "Matteo Renzi", "François Hollande"} {
+		b.AddEdge(leader, "studied", "Law")
+	}
+	b.AddEdge("Barack Obama", "hasChild", "Malia")
+	b.AddEdge("Vladimir Putin", "hasChild", "Mariya")
+	b.AddEdge("Vladimir Putin", "hasChild", "Yecaterina")
+	b.AddEdge("Matteo Renzi", "hasChild", "Francesca")
+	b.AddEdge("Matteo Renzi", "hasChild", "Emanuele")
+	b.AddEdge("Matteo Renzi", "hasChild", "Ester")
+	b.AddEdge("François Hollande", "hasChild", "Thomas")
+	b.AddEdge("François Hollande", "hasChild", "Clémence")
+	b.AddEdge("François Hollande", "hasChild", "Julien")
+	b.AddEdge("François Hollande", "hasChild", "Flora")
+	g := b.Build()
+
+	engine := notable.NewEngine(g, notable.Options{
+		ContextSize: 3,
+		Walks:       20000,
+		Seed:        7,
+	})
+	res, err := engine.SearchNames("Angela Merkel", "Barack Obama")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, c := range res.NotableOnly() {
+		fmt.Println(c.Name)
+	}
+	// Output:
+	// hasChild
+	// studied
+}
+
+// ExampleEngine_Compare tests an explicit query against an explicit
+// context, skipping context selection entirely.
+func ExampleEngine_Compare() {
+	b := notable.NewBuilder(16)
+	b.AddEdge("alice", "hasDegree", "PhD")
+	b.AddEdge("alice", "worksAt", "Acme")
+	b.AddEdge("bob", "worksAt", "Acme")
+	b.AddEdge("carol", "worksAt", "Acme")
+	b.AddEdge("dave", "worksAt", "Acme")
+	g := b.Build()
+
+	engine := notable.NewEngine(g, notable.Options{Seed: 1})
+	query, _ := engine.Resolve("alice")
+	context, _ := engine.Resolve("bob", "carol", "dave")
+	for _, c := range engine.Compare(query, context) {
+		if c.Notable() {
+			fmt.Printf("%s is notable\n", c.Name)
+		}
+	}
+	// Output:
+	// hasDegree is notable
+}

@@ -1,0 +1,52 @@
+// Quickstart: build the paper's Figure 1 graph through the public API and
+// find the notable characteristics of {Angela Merkel, Barack Obama}.
+//
+// Expected output: the context is the three other leaders, and the two
+// notable characteristics are hasChild (Merkel has none, everyone else
+// does) and studied (Merkel studied Physics, the context studied Law).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	b := notable.NewBuilder(32)
+	b.AddEdge("Angela Merkel", "studied", "Physics")
+	for _, leader := range []string{"Barack Obama", "Vladimir Putin", "Matteo Renzi", "François Hollande"} {
+		b.AddEdge(leader, "studied", "Law")
+	}
+	b.AddEdge("Barack Obama", "hasChild", "Malia")
+	b.AddEdge("Vladimir Putin", "hasChild", "Mariya")
+	b.AddEdge("Vladimir Putin", "hasChild", "Yecaterina")
+	b.AddEdge("Matteo Renzi", "hasChild", "Francesca")
+	b.AddEdge("Matteo Renzi", "hasChild", "Emanuele")
+	b.AddEdge("Matteo Renzi", "hasChild", "Ester")
+	b.AddEdge("François Hollande", "hasChild", "Thomas")
+	b.AddEdge("François Hollande", "hasChild", "Clémence")
+	b.AddEdge("François Hollande", "hasChild", "Julien")
+	b.AddEdge("François Hollande", "hasChild", "Flora")
+	g := b.Build()
+
+	engine := notable.NewEngine(g, notable.Options{
+		ContextSize: 3,
+		Walks:       20000,
+		Seed:        7,
+	})
+	res, err := engine.SearchNames("Angela Merkel", "Barack Obama")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("context:")
+	for _, item := range res.Context {
+		fmt.Printf("  %s (%.3f)\n", g.NodeName(item.ID), item.Score)
+	}
+	fmt.Println("notable characteristics:")
+	for _, c := range res.NotableOnly() {
+		fmt.Printf("  %s: score %.3f via %s test\n", c.Name, c.Score, c.Kind)
+	}
+}

@@ -1,0 +1,245 @@
+// Package core implements FindNC, the paper's end-to-end notable
+// characteristics search (Problem 1):
+//
+//  1. Select the context C — the top-k nodes most similar to the query Q —
+//     with a pluggable context selector (ContextRW by default).
+//  2. For every edge label incident to Q ∪ C, build the instance and
+//     cardinality distributions (Section 3.2) and run the multinomial
+//     test of the query observation against the context distribution.
+//  3. A label is notable iff either test rejects at the significance
+//     level; its score is δ = max(δ_Inst, δ_Card) ∈ (0.95, 1].
+//
+// Labels are tested concurrently; results are deterministic for a fixed
+// seed because every randomized component takes an explicit seed.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ctxsel"
+	"repro/internal/dist"
+	"repro/internal/kg"
+	"repro/internal/stats"
+	"repro/internal/topk"
+)
+
+// Kind identifies which distribution a score refers to.
+type Kind int
+
+const (
+	// KindInstance marks the instance (value) distribution.
+	KindInstance Kind = iota
+	// KindCardinality marks the cardinality (count) distribution.
+	KindCardinality
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindCardinality {
+		return "cardinality"
+	}
+	return "instance"
+}
+
+// Characteristic is the full test record for one edge label.
+type Characteristic struct {
+	// Label is the tested edge label.
+	Label kg.LabelID
+	// Name is the label's name, for rendering.
+	Name string
+	// Score is δ(l, C, Q) = max of the two MT scores; 0 means not notable.
+	Score float64
+	// Kind says which distribution produced Score.
+	Kind Kind
+	// InstScore and CardScore are the individual MT scores.
+	InstScore, CardScore float64
+	// InstP and CardP are the significance probabilities Pr_s of the two
+	// tests (small = deviant).
+	InstP, CardP float64
+	// Inst and Card are the underlying distributions, kept for inspection
+	// and for the Figure 7/8 reproductions.
+	Inst dist.Instance
+	Card dist.Cardinality
+}
+
+// Notable reports whether the label passed the significance test.
+func (c Characteristic) Notable() bool { return c.Score > 0 }
+
+// Options configures FindNC. The zero value reproduces the paper's
+// defaults.
+type Options struct {
+	// ContextSize is k, the number of context nodes. The paper's test
+	// cases use 100 (actors) and 30 (authors). Default 100.
+	ContextSize int
+	// Selector chooses the context. Default: ctxsel.ContextRW with Seed.
+	Selector ctxsel.Selector
+	// Test configures the multinomial test (alpha, Monte-Carlo budget).
+	Test stats.Multinomial
+	// SkipInverse drops automatically generated inverse labels (l⁻¹) from
+	// the report. The inverse direction is usually redundant with the
+	// forward one; the paper's figures show forward labels only.
+	SkipInverse bool
+	// Policy controls how query-only instance values are treated; see
+	// dist.UnseenPolicy. Default UnseenStrict (the paper's formula).
+	Policy dist.UnseenPolicy
+	// Parallelism bounds concurrent label tests; 0 means 4.
+	Parallelism int
+	// Seed drives every randomized component.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ContextSize == 0 {
+		o.ContextSize = 100
+	}
+	if o.Selector == nil {
+		o.Selector = ctxsel.ContextRW{Seed: o.Seed}
+	}
+	if o.Test.Seed == 0 {
+		o.Test.Seed = o.Seed
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// Result is the output of a FindNC run.
+type Result struct {
+	// Query echoes the input query nodes.
+	Query []kg.NodeID
+	// Context is the selected context, ranked by similarity.
+	Context []topk.Item
+	// Characteristics holds one record per tested label, sorted by
+	// descending score, then ascending significance probability, then
+	// name — notable labels first.
+	Characteristics []Characteristic
+}
+
+// ContextIDs returns the context node IDs in rank order.
+func (r Result) ContextIDs() []kg.NodeID {
+	out := make([]kg.NodeID, len(r.Context))
+	for i, it := range r.Context {
+		out[i] = kg.NodeID(it.ID)
+	}
+	return out
+}
+
+// NotableOnly filters Characteristics down to the notable ones.
+func (r Result) NotableOnly() []Characteristic {
+	var out []Characteristic
+	for _, c := range r.Characteristics {
+		if c.Notable() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByName returns the characteristic record for the named label.
+func (r Result) ByName(name string) (Characteristic, bool) {
+	for _, c := range r.Characteristics {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Characteristic{}, false
+}
+
+// FindNC runs the full pipeline on query against g.
+func FindNC(g *kg.Graph, query []kg.NodeID, opt Options) Result {
+	opt = opt.withDefaults()
+	context := opt.Selector.Select(g, query, opt.ContextSize)
+	res := Result{Query: query, Context: context}
+	res.Characteristics = CompareSets(g, query, res.ContextIDs(), opt)
+	return res
+}
+
+// CompareSets runs only the distribution-comparison stage (Section 3.2)
+// against an explicit context — used by FindNC, by experiments that reuse
+// one context across parameter sweeps, and by the RWMult baseline.
+func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Characteristic {
+	opt = opt.withDefaults()
+	both := make([]kg.NodeID, 0, len(query)+len(context))
+	both = append(both, query...)
+	both = append(both, context...)
+	labels := g.LabelsOf(both)
+	if opt.SkipInverse {
+		kept := labels[:0]
+		for _, l := range labels {
+			if !g.IsInverse(l) {
+				kept = append(kept, l)
+			}
+		}
+		labels = kept
+	}
+
+	out := make([]Characteristic, len(labels))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for i, l := range labels {
+		wg.Add(1)
+		go func(i int, l kg.LabelID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = testLabel(g, l, query, context, opt.Test, opt.Policy)
+		}(i, l)
+	}
+	wg.Wait()
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		pa, pb := minP(a), minP(b)
+		if pa != pb {
+			return pa < pb
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+func minP(c Characteristic) float64 {
+	if c.InstP < c.CardP {
+		return c.InstP
+	}
+	return c.CardP
+}
+
+// testLabel builds both distributions for l and applies the multinomial
+// test to each, combining scores per Eq. 3.
+func testLabel(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, test stats.Multinomial, policy dist.UnseenPolicy) Characteristic {
+	c := Characteristic{Label: l, Name: g.LabelName(l)}
+	c.Inst = dist.Instances(g, l, query, context)
+	c.Card = dist.Cardinalities(g, l, query, context)
+
+	instCtx, instObs := c.Inst.TestVectors(policy)
+	instRes := test.Test(stats.Normalize(instCtx), instObs)
+	c.InstP = instRes.P
+
+	cardPi := stats.Normalize(dist.ContextFloats(c.Card.Context))
+	cardRes := test.Test(cardPi, c.Card.Query)
+	c.CardP = cardRes.P
+
+	alpha := test.Alpha
+	if alpha == 0 {
+		alpha = stats.DefaultAlpha
+	}
+	if instRes.P <= alpha {
+		c.InstScore = 1 - instRes.P
+	}
+	if cardRes.P <= alpha {
+		c.CardScore = 1 - cardRes.P
+	}
+	c.Score = c.InstScore
+	c.Kind = KindInstance
+	if c.CardScore > c.InstScore {
+		c.Score = c.CardScore
+		c.Kind = KindCardinality
+	}
+	return c
+}

@@ -1,0 +1,169 @@
+// Package corr implements the paper's future-work extension: "we also
+// intend to explore correlations between attributes". Given a query, its
+// context, and the per-label characteristics, it finds label PAIRS whose
+// co-occurrence pattern in the query deviates from the context — e.g.
+// query members both hold a doctorate AND lack children, while in the
+// context the two properties are independent.
+//
+// For a pair of labels (a, b), every node in each set is mapped to one of
+// four cells — (has a, has b), (has a only), (has b only), (neither) — and
+// the query's cell counts are tested against the context's cell
+// distribution with the same exact multinomial test the core method uses.
+// This keeps the extension consistent with the paper's framework: the
+// context defines expected behaviour, the query is the hypothesis.
+package corr
+
+import (
+	"sort"
+
+	"repro/internal/kg"
+	"repro/internal/stats"
+)
+
+// Pair is a correlation finding between two labels.
+type Pair struct {
+	A, B  kg.LabelID
+	AName string
+	BName string
+	// P is the significance probability of the query's co-occurrence
+	// pattern under the context's.
+	P float64
+	// Score is 1−P when significant at the test's alpha, else 0.
+	Score float64
+	// QueryCells and ContextCells hold the 2×2 co-occurrence counts in
+	// order [both, aOnly, bOnly, neither].
+	QueryCells   [4]int
+	ContextCells [4]int
+}
+
+// Notable reports whether the pair passed the significance test.
+func (p Pair) Notable() bool { return p.Score > 0 }
+
+// Options configures the correlation search.
+type Options struct {
+	// Test is the multinomial test configuration.
+	Test stats.Multinomial
+	// MaxLabels bounds how many labels (by combined query+context
+	// presence) enter the pairwise scan; the scan is quadratic in it.
+	// Default 12.
+	MaxLabels int
+	// MinSupport skips labels carried by fewer members across query and
+	// context combined. Absence in the query is itself informative (the
+	// childless-with-doctorate pattern), so query-absent labels stay in
+	// as long as the context expresses them. Default 1.
+	MinSupport int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLabels == 0 {
+		o.MaxLabels = 12
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 1
+	}
+	return o
+}
+
+// Find scans label pairs over the query and context and returns pairs
+// sorted by descending score, then ascending P, then names.
+func Find(g *kg.Graph, query, context []kg.NodeID, labels []kg.LabelID, opt Options) []Pair {
+	opt = opt.withDefaults()
+	if len(query) == 0 || len(context) == 0 {
+		return nil
+	}
+	// Precompute per-label presence bitsets over both node sets.
+	type presence struct {
+		label kg.LabelID
+		query []bool
+		ctx   []bool
+		sup   int
+	}
+	var pres []presence
+	for _, l := range labels {
+		p := presence{label: l, query: make([]bool, len(query)), ctx: make([]bool, len(context))}
+		for i, n := range query {
+			if len(g.OutEdgesByLabel(n, l)) > 0 {
+				p.query[i] = true
+				p.sup++
+			}
+		}
+		for i, n := range context {
+			if len(g.OutEdgesByLabel(n, l)) > 0 {
+				p.ctx[i] = true
+				p.sup++
+			}
+		}
+		if p.sup >= opt.MinSupport {
+			pres = append(pres, p)
+		}
+	}
+	// Keep the most-present labels to bound the quadratic scan.
+	sort.Slice(pres, func(i, j int) bool {
+		if pres[i].sup != pres[j].sup {
+			return pres[i].sup > pres[j].sup
+		}
+		return pres[i].label < pres[j].label
+	})
+	if len(pres) > opt.MaxLabels {
+		pres = pres[:opt.MaxLabels]
+	}
+
+	var out []Pair
+	alpha := opt.Test.Alpha
+	if alpha == 0 {
+		alpha = stats.DefaultAlpha
+	}
+	for i := 0; i < len(pres); i++ {
+		for j := i + 1; j < len(pres); j++ {
+			a, b := pres[i], pres[j]
+			pair := Pair{
+				A: a.label, B: b.label,
+				AName: g.LabelName(a.label), BName: g.LabelName(b.label),
+			}
+			pair.QueryCells = cells(a.query, b.query)
+			pair.ContextCells = cells(a.ctx, b.ctx)
+			pi := make([]float64, 4)
+			for c := 0; c < 4; c++ {
+				pi[c] = float64(pair.ContextCells[c])
+			}
+			res := opt.Test.Test(stats.Normalize(pi), pair.QueryCells[:])
+			pair.P = res.P
+			if res.P <= alpha {
+				pair.Score = 1 - res.P
+			}
+			out = append(out, pair)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		if out[i].AName != out[j].AName {
+			return out[i].AName < out[j].AName
+		}
+		return out[i].BName < out[j].BName
+	})
+	return out
+}
+
+// cells maps two presence vectors to the 2×2 contingency counts
+// [both, aOnly, bOnly, neither].
+func cells(a, b []bool) [4]int {
+	var c [4]int
+	for i := range a {
+		switch {
+		case a[i] && b[i]:
+			c[0]++
+		case a[i]:
+			c[1]++
+		case b[i]:
+			c[2]++
+		default:
+			c[3]++
+		}
+	}
+	return c
+}

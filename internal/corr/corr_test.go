@@ -1,0 +1,141 @@
+package corr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// correlationGraph plants a query whose members all combine hasDoctorate
+// with childlessness, against a context where the two are independent.
+func correlationGraph() (*kg.Graph, []kg.NodeID, []kg.NodeID, []kg.LabelID) {
+	b := kg.NewBuilder(256)
+	addPerson := func(name string, doctorate, child bool) {
+		b.AddEdge(name, "livesIn", "Metropolis")
+		if doctorate {
+			b.AddEdge(name, "hasDoctorate", "PhD")
+		}
+		if child {
+			b.AddEdge(name, "hasChild", "Child of "+name)
+		}
+	}
+	// Query: 4 members, all doctorate + childless.
+	for i := 0; i < 4; i++ {
+		addPerson(fmt.Sprintf("q%d", i), true, false)
+	}
+	// Context: 40 members; doctorate and children independent (half/half).
+	for i := 0; i < 40; i++ {
+		addPerson(fmt.Sprintf("c%02d", i), i%2 == 0, i%4 < 2)
+	}
+	g := b.Build()
+	var q, c []kg.NodeID
+	for i := 0; i < 4; i++ {
+		id, _ := g.NodeByName(fmt.Sprintf("q%d", i))
+		q = append(q, id)
+	}
+	for i := 0; i < 40; i++ {
+		id, _ := g.NodeByName(fmt.Sprintf("c%02d", i))
+		c = append(c, id)
+	}
+	var labels []kg.LabelID
+	for _, name := range []string{"livesIn", "hasDoctorate", "hasChild"} {
+		l, _ := g.LabelByName(name)
+		labels = append(labels, l)
+	}
+	return g, q, c, labels
+}
+
+func TestFindsPlantedCorrelation(t *testing.T) {
+	g, q, c, labels := correlationGraph()
+	pairs := Find(g, q, c, labels, Options{})
+	if len(pairs) == 0 {
+		t.Fatal("no pairs scanned")
+	}
+	var target *Pair
+	for i := range pairs {
+		p := &pairs[i]
+		if (p.AName == "hasDoctorate" && p.BName == "hasChild") ||
+			(p.AName == "hasChild" && p.BName == "hasDoctorate") {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("doctorate/child pair not scanned")
+	}
+	if !target.Notable() {
+		t.Fatalf("planted correlation not notable: P=%v cells q=%v c=%v",
+			target.P, target.QueryCells, target.ContextCells)
+	}
+	// Query cells: all 4 members have doctorate-only (or child-only if
+	// order flipped); neither cell is 0.
+	if target.QueryCells[0] != 0 || target.QueryCells[3] != 0 {
+		t.Fatalf("query cells = %v", target.QueryCells)
+	}
+}
+
+func TestUncorrelatedPairNotNotable(t *testing.T) {
+	g, q, c, labels := correlationGraph()
+	pairs := Find(g, q, c, labels, Options{})
+	for _, p := range pairs {
+		if p.AName == "livesIn" && p.BName == "hasDoctorate" && p.Notable() {
+			// livesIn is universal; together with the doctorate rate being
+			// plausible on its own, the pair should not fire strongly.
+			// (The query is 100% doctorate vs 50% context, which may reach
+			// significance; only fail when the evidence is overwhelming.)
+			if p.P < 0.001 {
+				t.Fatalf("livesIn/hasDoctorate unexpectedly extreme: P=%v", p.P)
+			}
+		}
+	}
+}
+
+func TestCellCounts(t *testing.T) {
+	a := []bool{true, true, false, false}
+	b := []bool{true, false, true, false}
+	c := cells(a, b)
+	if c != [4]int{1, 1, 1, 1} {
+		t.Fatalf("cells = %v", c)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	g, q, c, labels := correlationGraph()
+	if got := Find(g, nil, c, labels, Options{}); got != nil {
+		t.Fatal("empty query should return nil")
+	}
+	if got := Find(g, q, nil, labels, Options{}); got != nil {
+		t.Fatal("empty context should return nil")
+	}
+	if got := Find(g, q, c, nil, Options{}); len(got) != 0 {
+		t.Fatal("no labels should return no pairs")
+	}
+}
+
+func TestMaxLabelsBound(t *testing.T) {
+	g, q, c, labels := correlationGraph()
+	pairs := Find(g, q, c, labels, Options{MaxLabels: 2})
+	// 2 labels -> exactly 1 pair.
+	if len(pairs) != 1 {
+		t.Fatalf("MaxLabels=2 produced %d pairs", len(pairs))
+	}
+}
+
+func TestSortedByScore(t *testing.T) {
+	g, q, c, labels := correlationGraph()
+	pairs := Find(g, q, c, labels, Options{})
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Score > pairs[i-1].Score {
+			t.Fatal("pairs not sorted by descending score")
+		}
+	}
+}
+
+func TestMinSupport(t *testing.T) {
+	g, q, c, labels := correlationGraph()
+	// Requiring support beyond the population size removes every label.
+	pairs := Find(g, q, c, labels, Options{MinSupport: 1000})
+	if len(pairs) != 0 {
+		t.Fatalf("expected no pairs, got %d", len(pairs))
+	}
+}

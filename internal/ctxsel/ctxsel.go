@@ -1,0 +1,337 @@
+// Package ctxsel implements context selection (Definition 2): finding the
+// top-k nodes most similar to a query set.
+//
+// Two selectors from the paper:
+//
+//   - RandomWalk — the baseline: informativeness-weighted Personalized
+//     PageRank from each query node, summed (Section 3.1, Eq. 1–2).
+//   - ContextRW — the contribution: mine metapaths that connect the graph
+//     to the query (PathMining), keep the |M| most frequent, then score
+//     every node by σ(n', Q) = Σ_{m,n} |{n ⇝m n'}| / |{n ⇝m n”}| · Pr(m)
+//     and take the top-k.
+//
+// Two more selectors from related work serve as ablations: SimRank-style
+// neighbor similarity and neighborhood Jaccard overlap. Both ignore edge
+// labels, which is exactly the deficiency the paper points out; keeping
+// them runnable makes the comparison concrete.
+package ctxsel
+
+import (
+	"fmt"
+
+	"repro/internal/kg"
+	"repro/internal/metapath"
+	"repro/internal/ppr"
+	"repro/internal/topk"
+)
+
+// Selector retrieves a ranked context set for a query.
+type Selector interface {
+	// Name identifies the selector in reports.
+	Name() string
+	// Select returns up to k context nodes ranked by descending
+	// similarity, never including query nodes.
+	Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item
+}
+
+// RandomWalk is the paper's baseline selector: summed Personalized
+// PageRank from each query node.
+type RandomWalk struct {
+	Opt ppr.Options
+}
+
+// Name implements Selector.
+func (RandomWalk) Name() string { return "RandomWalk" }
+
+// Select implements Selector.
+func (s RandomWalk) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	return ppr.TopK(g, query, k, s.Opt)
+}
+
+// ContextRW is the paper's context selector (Section 3.1).
+type ContextRW struct {
+	// Walks is the PathMining sampling budget. The paper runs 1M walks;
+	// scale down for smaller graphs. Default 200000.
+	Walks int
+	// NumPaths is |M|, the number of retained metapaths. The paper finds
+	// F1 insensitive to it and suggests 5. Default 5.
+	NumPaths int
+	// MaxLength bounds metapath length; the paper suggests 5. Default 5.
+	MaxLength int
+	// Uniform disables informativeness weighting during mining.
+	Uniform bool
+	// Seed fixes mining randomness.
+	Seed int64
+	// Parallelism bounds mining workers; 0 uses the miner default.
+	Parallelism int
+}
+
+// Name implements Selector.
+func (ContextRW) Name() string { return "ContextRW" }
+
+func (s ContextRW) withDefaults() ContextRW {
+	if s.Walks == 0 {
+		s.Walks = 200000
+	}
+	if s.NumPaths == 0 {
+		s.NumPaths = 5
+	}
+	if s.MaxLength == 0 {
+		s.MaxLength = 5
+	}
+	return s
+}
+
+// Select implements Selector.
+func (s ContextRW) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	scores := s.Scores(g, query)
+	skip := make(map[uint32]bool, len(query))
+	for _, q := range query {
+		skip[q] = true
+	}
+	sel := topk.New(k)
+	for id, sc := range scores {
+		if sc == 0 || skip[uint32(id)] {
+			continue
+		}
+		sel.Offer(uint32(id), sc)
+	}
+	return sel.Ranked()
+}
+
+// Scores computes σ(n', Q) for every node n'. Exposed separately so
+// experiments can reuse one scoring pass across several context sizes.
+func (s ContextRW) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
+	s = s.withDefaults()
+	mined := metapath.Mine(g, query, metapath.MineOptions{
+		Walks:       s.Walks,
+		MaxLength:   s.MaxLength,
+		Uniform:     s.Uniform,
+		Seed:        s.Seed,
+		Parallelism: s.Parallelism,
+	})
+	return s.ScoresWithPaths(g, query, mined)
+}
+
+// ScoresWithPaths scores nodes against an already-mined metapath list
+// (sorted by descending count, as Mine returns it). Exposed so experiments
+// can sweep |M| (s.NumPaths) without re-mining.
+//
+// The paper scores by "the probability that some metapath starting from a
+// query node ends in this node": mined label sequences are matched from
+// the query verbatim, not reversed. Purely inbound sequences (e.g. the
+// hasChild⁻¹ funnel from a child leaf) find no match from the query side
+// and would contribute nothing to σ, so the top-|M| cut is applied over
+// the query-matchable metapaths only; Pr(m) is then the count share within
+// that kept set, exactly as in Section 3.1.
+func (s ContextRW) ScoresWithPaths(g *kg.Graph, query []kg.NodeID, mined []metapath.Mined) []float64 {
+	s = s.withDefaults()
+	scores := make([]float64, g.NumNodes())
+	if len(mined) == 0 || len(query) == 0 {
+		return scores
+	}
+	inQuery := make(map[kg.NodeID]bool, len(query))
+	for _, q := range query {
+		inQuery[q] = true
+	}
+
+	// Select up to NumPaths query-matchable metapaths in count order,
+	// caching each one's per-node match share Σ_q counts_q[n']/denom_q.
+	type kept struct {
+		count int64
+		share []float64
+	}
+	var keptPaths []kept
+	for _, mp := range mined {
+		if len(keptPaths) == s.NumPaths {
+			break
+		}
+		var share []float64
+		for _, q := range query {
+			counts := metapath.CountPaths(g, q, mp.Path)
+			denom := 0.0
+			for id, c := range counts {
+				if c != 0 && !inQuery[kg.NodeID(id)] {
+					denom += c
+				}
+			}
+			if denom == 0 {
+				continue
+			}
+			if share == nil {
+				share = make([]float64, len(counts))
+			}
+			for id, c := range counts {
+				if c != 0 && !inQuery[kg.NodeID(id)] {
+					share[id] += c / denom
+				}
+			}
+		}
+		if share != nil {
+			keptPaths = append(keptPaths, kept{count: mp.Count, share: share})
+		}
+	}
+
+	var total int64
+	for _, kp := range keptPaths {
+		total += kp.count
+	}
+	if total == 0 {
+		return scores
+	}
+	for _, kp := range keptPaths {
+		prM := float64(kp.count) / float64(total)
+		for id, sh := range kp.share {
+			if sh != 0 {
+				scores[id] += prM * sh
+			}
+		}
+	}
+	return scores
+}
+
+// Jaccard is an ablation selector from related work: similarity is the
+// Jaccard overlap of full (label-blind) neighborhoods, averaged over the
+// query nodes. Candidates are restricted to nodes sharing at least one
+// neighbor with a query node.
+type Jaccard struct{}
+
+// Name implements Selector.
+func (Jaccard) Name() string { return "Jaccard" }
+
+// Select implements Selector.
+func (Jaccard) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	inQuery := make(map[kg.NodeID]bool, len(query))
+	for _, q := range query {
+		inQuery[q] = true
+	}
+	qNbrs := make([]map[kg.NodeID]bool, len(query))
+	candidates := make(map[kg.NodeID]bool)
+	for i, q := range query {
+		qNbrs[i] = neighborSet(g, q)
+		for nb := range qNbrs[i] {
+			for _, e := range g.OutEdges(nb) {
+				if !inQuery[e.To] {
+					candidates[e.To] = true
+				}
+			}
+		}
+	}
+	sel := topk.New(k)
+	for cand := range candidates {
+		cNbrs := neighborSet(g, cand)
+		sum := 0.0
+		for i := range query {
+			sum += jaccard(qNbrs[i], cNbrs)
+		}
+		score := sum / float64(len(query))
+		if score > 0 {
+			sel.Offer(cand, score)
+		}
+	}
+	return sel.Ranked()
+}
+
+// SimRank is an ablation selector: one-iteration SimRank,
+// s(a,b) = C · |N(a) ∩ N(b)| / (|N(a)|·|N(b)|), averaged over query nodes.
+// Like the original measure it disregards labels entirely.
+type SimRank struct {
+	// C is the SimRank decay constant; default 0.8.
+	C float64
+}
+
+// Name implements Selector.
+func (SimRank) Name() string { return "SimRank" }
+
+// Select implements Selector.
+func (s SimRank) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	c := s.C
+	if c == 0 {
+		c = 0.8
+	}
+	inQuery := make(map[kg.NodeID]bool, len(query))
+	for _, q := range query {
+		inQuery[q] = true
+	}
+	qNbrs := make([]map[kg.NodeID]bool, len(query))
+	candidates := make(map[kg.NodeID]bool)
+	for i, q := range query {
+		qNbrs[i] = neighborSet(g, q)
+		for nb := range qNbrs[i] {
+			for _, e := range g.OutEdges(nb) {
+				if !inQuery[e.To] {
+					candidates[e.To] = true
+				}
+			}
+		}
+	}
+	sel := topk.New(k)
+	for cand := range candidates {
+		cNbrs := neighborSet(g, cand)
+		if len(cNbrs) == 0 {
+			continue
+		}
+		sum := 0.0
+		for i := range query {
+			if len(qNbrs[i]) == 0 {
+				continue
+			}
+			common := intersectionSize(qNbrs[i], cNbrs)
+			sum += c * float64(common) / (float64(len(qNbrs[i])) * float64(len(cNbrs)))
+		}
+		score := sum / float64(len(query))
+		if score > 0 {
+			sel.Offer(cand, score)
+		}
+	}
+	return sel.Ranked()
+}
+
+func neighborSet(g *kg.Graph, n kg.NodeID) map[kg.NodeID]bool {
+	out := make(map[kg.NodeID]bool)
+	for _, e := range g.OutEdges(n) {
+		out[e.To] = true
+	}
+	return out
+}
+
+func jaccard(a, b map[kg.NodeID]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	common := intersectionSize(a, b)
+	union := len(a) + len(b) - common
+	if union == 0 {
+		return 0
+	}
+	return float64(common) / float64(union)
+}
+
+func intersectionSize(a, b map[kg.NodeID]bool) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for k := range a {
+		if b[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// ByName returns the named selector with default parameters, for CLIs.
+func ByName(name string, seed int64) (Selector, error) {
+	switch name {
+	case "contextrw", "ContextRW":
+		return ContextRW{Seed: seed}, nil
+	case "randomwalk", "RandomWalk":
+		return RandomWalk{}, nil
+	case "jaccard", "Jaccard":
+		return Jaccard{}, nil
+	case "simrank", "SimRank":
+		return SimRank{}, nil
+	default:
+		return nil, fmt.Errorf("ctxsel: unknown selector %q", name)
+	}
+}

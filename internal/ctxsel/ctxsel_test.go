@@ -1,0 +1,224 @@
+package ctxsel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/topk"
+)
+
+// communityGraph builds two communities of people. Community A members all
+// work at "acme" and live in "metropolis"; community B members work at
+// "globex" and live in "smallville". Query nodes come from community A, so
+// a good selector returns the rest of community A as context.
+func communityGraph() (*kg.Graph, []kg.NodeID, map[kg.NodeID]bool) {
+	b := kg.NewBuilder(128)
+	sizeA, sizeB := 12, 12
+	for i := 0; i < sizeA; i++ {
+		name := fmt.Sprintf("a%02d", i)
+		b.AddEdge(name, "worksAt", "acme")
+		b.AddEdge(name, "livesIn", "metropolis")
+	}
+	for i := 0; i < sizeB; i++ {
+		name := fmt.Sprintf("b%02d", i)
+		b.AddEdge(name, "worksAt", "globex")
+		b.AddEdge(name, "livesIn", "smallville")
+	}
+	// Noise: a hub city connected to everyone dilutes naive walks.
+	for i := 0; i < sizeA; i++ {
+		b.AddEdge(fmt.Sprintf("a%02d", i), "visited", "megacity")
+	}
+	for i := 0; i < sizeB; i++ {
+		b.AddEdge(fmt.Sprintf("b%02d", i), "visited", "megacity")
+	}
+	g := b.Build()
+	q0, _ := g.NodeByName("a00")
+	q1, _ := g.NodeByName("a01")
+	query := []kg.NodeID{q0, q1}
+	wantSet := make(map[kg.NodeID]bool)
+	for i := 2; i < sizeA; i++ {
+		n, _ := g.NodeByName(fmt.Sprintf("a%02d", i))
+		wantSet[n] = true
+	}
+	return g, query, wantSet
+}
+
+func precisionAt(items []topk.Item, want map[kg.NodeID]bool, k int) float64 {
+	if k > len(items) {
+		k = len(items)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, it := range items[:k] {
+		if want[kg.NodeID(it.ID)] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+func TestContextRWFindsCommunity(t *testing.T) {
+	g, query, want := communityGraph()
+	s := ContextRW{Walks: 30000, Seed: 5}
+	got := s.Select(g, query, 10)
+	if len(got) == 0 {
+		t.Fatal("empty context")
+	}
+	if p := precisionAt(got, want, 10); p < 0.8 {
+		t.Fatalf("ContextRW precision@10 = %v, want >= 0.8 (got %v)", p, names(g, got))
+	}
+}
+
+func TestContextRWExcludesQuery(t *testing.T) {
+	g, query, _ := communityGraph()
+	s := ContextRW{Walks: 10000, Seed: 5}
+	for _, it := range s.Select(g, query, 50) {
+		for _, q := range query {
+			if kg.NodeID(it.ID) == q {
+				t.Fatal("context contains a query node")
+			}
+		}
+	}
+}
+
+func TestContextRWDeterministic(t *testing.T) {
+	g, query, _ := communityGraph()
+	s := ContextRW{Walks: 10000, Seed: 99, Parallelism: 3}
+	a := s.Select(g, query, 10)
+	b := s.Select(g, query, 10)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomWalkReturnsRankedContext(t *testing.T) {
+	g, query, _ := communityGraph()
+	got := RandomWalk{}.Select(g, query, 10)
+	if len(got) == 0 {
+		t.Fatal("empty context")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("not sorted descending")
+		}
+	}
+	for _, it := range got {
+		for _, q := range query {
+			if kg.NodeID(it.ID) == q {
+				t.Fatal("context contains a query node")
+			}
+		}
+	}
+}
+
+func TestContextRWBeatsRandomWalkOnCommunity(t *testing.T) {
+	g, query, want := communityGraph()
+	crw := ContextRW{Walks: 30000, Seed: 5}.Select(g, query, 10)
+	rw := RandomWalk{}.Select(g, query, 10)
+	pc := precisionAt(crw, want, 10)
+	pr := precisionAt(rw, want, 10)
+	if pc < pr {
+		t.Fatalf("ContextRW precision %v < RandomWalk %v", pc, pr)
+	}
+}
+
+func TestJaccardSelector(t *testing.T) {
+	g, query, want := communityGraph()
+	got := Jaccard{}.Select(g, query, 10)
+	if len(got) == 0 {
+		t.Fatal("empty context")
+	}
+	if p := precisionAt(got, want, 10); p < 0.5 {
+		t.Fatalf("Jaccard precision@10 = %v too low: %v", p, names(g, got))
+	}
+}
+
+func TestSimRankSelector(t *testing.T) {
+	g, query, _ := communityGraph()
+	got := SimRank{}.Select(g, query, 10)
+	if len(got) == 0 {
+		t.Fatal("empty context")
+	}
+	for _, it := range got {
+		if it.Score <= 0 {
+			t.Fatal("non-positive SimRank score retained")
+		}
+	}
+}
+
+func TestSelectorsHandleEmptyQuery(t *testing.T) {
+	g, _, _ := communityGraph()
+	for _, s := range []Selector{ContextRW{Walks: 100, Seed: 1}, RandomWalk{}, Jaccard{}, SimRank{}} {
+		if got := s.Select(g, nil, 5); len(got) != 0 {
+			t.Fatalf("%s returned context for empty query", s.Name())
+		}
+	}
+}
+
+func TestScoresWithPathsEmptyMined(t *testing.T) {
+	g, query, _ := communityGraph()
+	scores := ContextRW{}.ScoresWithPaths(g, query, nil)
+	for _, s := range scores {
+		if s != 0 {
+			t.Fatal("no mined paths should produce zero scores")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"contextrw", "randomwalk", "jaccard", "simrank"} {
+		s, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("selector %q has empty name", name)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("unknown selector should error")
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	if (ContextRW{}).Name() != "ContextRW" {
+		t.Fatal("ContextRW name")
+	}
+	if (RandomWalk{}).Name() != "RandomWalk" {
+		t.Fatal("RandomWalk name")
+	}
+}
+
+func names(g *kg.Graph, items []topk.Item) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = g.NodeName(kg.NodeID(it.ID))
+	}
+	return out
+}
+
+func BenchmarkContextRWSelect(b *testing.B) {
+	g, query, _ := communityGraph()
+	s := ContextRW{Walks: 20000, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(g, query, 20)
+	}
+}
+
+func BenchmarkRandomWalkSelect(b *testing.B) {
+	g, query, _ := communityGraph()
+	s := RandomWalk{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(g, query, 20)
+	}
+}

@@ -1,0 +1,117 @@
+// Package dict provides string interning dictionaries that map strings to
+// dense uint32 identifiers and back.
+//
+// Knowledge graphs routinely hold millions of node names, edge labels, and
+// type names. Algorithms over them (random walks, PageRank, metapath
+// counting) want dense integer identifiers so that adjacency can be stored
+// in compact slices. A Dict assigns identifiers in insertion order starting
+// at 0, which makes the identifiers directly usable as slice indexes.
+package dict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a dense identifier assigned by a Dict. IDs start at 0 and grow by 1
+// per distinct string, so they can index slices sized by Dict.Len.
+type ID = uint32
+
+// NoID is returned by Lookup when a string has not been interned.
+// It is the maximum uint32 and therefore never a valid ID in practice
+// (a Dict refuses to grow that large).
+const NoID ID = ^ID(0)
+
+// MaxEntries is the largest number of strings a Dict may hold. The limit
+// keeps NoID unambiguous.
+const MaxEntries = int(NoID)
+
+// Dict interns strings, assigning each distinct string a dense ID.
+// The zero value is ready to use. Dict is not safe for concurrent mutation;
+// concurrent readers are fine once building is done.
+type Dict struct {
+	byStr map[string]ID
+	byID  []string
+}
+
+// New returns an empty dictionary with capacity hints for n entries.
+func New(n int) *Dict {
+	if n < 0 {
+		n = 0
+	}
+	return &Dict{
+		byStr: make(map[string]ID, n),
+		byID:  make([]string, 0, n),
+	}
+}
+
+// Put interns s and returns its ID, assigning a fresh one if s is new.
+func (d *Dict) Put(s string) ID {
+	if d.byStr == nil {
+		d.byStr = make(map[string]ID)
+	}
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	if len(d.byID) >= MaxEntries {
+		panic(fmt.Sprintf("dict: exceeded %d entries", MaxEntries))
+	}
+	id := ID(len(d.byID))
+	d.byStr[s] = id
+	d.byID = append(d.byID, s)
+	return id
+}
+
+// Lookup returns the ID for s, or NoID if s has not been interned.
+func (d *Dict) Lookup(s string) ID {
+	if d.byStr == nil {
+		return NoID
+	}
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	return NoID
+}
+
+// Contains reports whether s has been interned.
+func (d *Dict) Contains(s string) bool { return d.Lookup(s) != NoID }
+
+// String returns the string for id. It panics if id was never assigned.
+func (d *Dict) String(id ID) string {
+	if int(id) >= len(d.byID) {
+		panic(fmt.Sprintf("dict: id %d out of range (len %d)", id, len(d.byID)))
+	}
+	return d.byID[id]
+}
+
+// StringOr returns the string for id, or fallback if id is out of range.
+func (d *Dict) StringOr(id ID, fallback string) string {
+	if int(id) >= len(d.byID) {
+		return fallback
+	}
+	return d.byID[id]
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.byID) }
+
+// Strings returns the interned strings in ID order. The returned slice is
+// owned by the Dict and must not be modified.
+func (d *Dict) Strings() []string { return d.byID }
+
+// Sorted returns the interned strings in lexicographic order (a copy).
+func (d *Dict) Sorted() []string {
+	out := make([]string, len(d.byID))
+	copy(out, d.byID)
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the dictionary.
+func (d *Dict) Clone() *Dict {
+	c := New(d.Len())
+	for _, s := range d.byID {
+		c.Put(s)
+	}
+	return c
+}

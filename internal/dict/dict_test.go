@@ -1,0 +1,176 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutAssignsDenseIDs(t *testing.T) {
+	d := New(4)
+	ids := []ID{d.Put("a"), d.Put("b"), d.Put("c")}
+	for i, id := range ids {
+		if id != ID(i) {
+			t.Fatalf("id for entry %d = %d, want %d", i, id, i)
+		}
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestPutIsIdempotent(t *testing.T) {
+	d := New(0)
+	first := d.Put("x")
+	second := d.Put("x")
+	if first != second {
+		t.Fatalf("Put twice returned %d then %d", first, second)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	d := New(0)
+	if got := d.Lookup("absent"); got != NoID {
+		t.Fatalf("Lookup(absent) = %d, want NoID", got)
+	}
+	if d.Contains("absent") {
+		t.Fatal("Contains(absent) = true, want false")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var d Dict
+	if d.Lookup("a") != NoID {
+		t.Fatal("zero-value Lookup should return NoID")
+	}
+	id := d.Put("a")
+	if id != 0 {
+		t.Fatalf("zero-value Put = %d, want 0", id)
+	}
+	if d.String(id) != "a" {
+		t.Fatalf("String(%d) = %q, want %q", id, d.String(id), "a")
+	}
+}
+
+func TestStringPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("String on out-of-range id did not panic")
+		}
+	}()
+	d := New(0)
+	d.String(5)
+}
+
+func TestStringOrFallback(t *testing.T) {
+	d := New(0)
+	d.Put("a")
+	if got := d.StringOr(0, "?"); got != "a" {
+		t.Fatalf("StringOr(0) = %q, want a", got)
+	}
+	if got := d.StringOr(9, "?"); got != "?" {
+		t.Fatalf("StringOr(9) = %q, want ?", got)
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	d := New(0)
+	d.Put("b")
+	d.Put("a")
+	sorted := d.Sorted()
+	if sorted[0] != "a" || sorted[1] != "b" {
+		t.Fatalf("Sorted = %v", sorted)
+	}
+	if d.String(0) != "b" {
+		t.Fatal("Sorted mutated underlying ID order")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := New(0)
+	d.Put("a")
+	d.Put("b")
+	c := d.Clone()
+	c.Put("c")
+	if d.Len() != 2 {
+		t.Fatalf("clone mutated original: Len = %d", d.Len())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("clone Len = %d, want 3", c.Len())
+	}
+	if c.Lookup("a") != d.Lookup("a") {
+		t.Fatal("clone reassigned existing IDs")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: for any batch of strings, Put then String round-trips, and
+	// duplicate strings share an ID.
+	f := func(ss []string) bool {
+		d := New(len(ss))
+		seen := make(map[string]ID)
+		for _, s := range ss {
+			id := d.Put(s)
+			if prev, ok := seen[s]; ok && prev != id {
+				return false
+			}
+			seen[s] = id
+			if d.String(id) != s {
+				return false
+			}
+		}
+		return d.Len() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionOrderStable(t *testing.T) {
+	d := New(0)
+	for i := 0; i < 100; i++ {
+		d.Put(fmt.Sprintf("node-%03d", i))
+	}
+	for i := 0; i < 100; i++ {
+		want := fmt.Sprintf("node-%03d", i)
+		if got := d.String(ID(i)); got != want {
+			t.Fatalf("String(%d) = %q, want %q", i, got, want)
+		}
+	}
+	all := d.Strings()
+	if len(all) != 100 {
+		t.Fatalf("Strings len = %d", len(all))
+	}
+}
+
+func BenchmarkPutNew(b *testing.B) {
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("entity-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(len(keys))
+		for _, k := range keys {
+			d.Put(k)
+		}
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	d := New(1 << 16)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("entity-%d", i)
+		d.Put(keys[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Lookup(keys[i&(len(keys)-1)]) == NoID {
+			b.Fatal("miss")
+		}
+	}
+}

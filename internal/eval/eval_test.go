@@ -1,0 +1,337 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/kg"
+	"repro/internal/topk"
+)
+
+// testCfg keeps eval tests fast: a half-scale graph and a reduced walk
+// budget. Half scale keeps the actor community (120) comfortably larger
+// than the |C|=100 context the §4.2 case uses, as at full scale.
+func testCfg() Config {
+	return Config{Seed: 11, Scale: 0.5, Walks: 40000, MaxContext: 200, Step: 10}.WithDefaults()
+}
+
+func testDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	return gen.YAGOLike(gen.YAGOConfig{Seed: 11, Scale: 0.5})
+}
+
+func TestScore(t *testing.T) {
+	p := Score(5, 10, 20)
+	if p.Precision != 0.5 || p.Recall != 0.25 {
+		t.Fatalf("Score = %+v", p)
+	}
+	want := 2 * 0.5 * 0.25 / 0.75
+	if p.F1 != want {
+		t.Fatalf("F1 = %v, want %v", p.F1, want)
+	}
+	zero := Score(0, 0, 0)
+	if zero.F1 != 0 || zero.Precision != 0 || zero.Recall != 0 {
+		t.Fatalf("zero Score = %+v", zero)
+	}
+}
+
+func TestF1Curve(t *testing.T) {
+	ranking := []topk.Item{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	gt := map[kg.NodeID]bool{1: true, 3: true}
+	curve := F1Curve(ranking, gt, []int{1, 2, 4, 10})
+	// cut=1: hits=1, P=1, R=0.5 -> F1=2/3.
+	if curve[0] < 0.66 || curve[0] > 0.67 {
+		t.Fatalf("F1@1 = %v", curve[0])
+	}
+	// cut=4: hits=2, P=0.5, R=1 -> F1=2/3.
+	if curve[2] < 0.66 || curve[2] > 0.67 {
+		t.Fatalf("F1@4 = %v", curve[2])
+	}
+	// cut beyond ranking length: same hits, k clamps to len(ranking).
+	if curve[3] != curve[2] {
+		t.Fatalf("F1@10 = %v, want %v", curve[3], curve[2])
+	}
+}
+
+func TestCuts(t *testing.T) {
+	cfg := Config{MaxContext: 50, Step: 10}.WithDefaults()
+	cuts := cfg.Cuts()
+	if len(cuts) != 5 || cuts[0] != 10 || cuts[4] != 50 {
+		t.Fatalf("Cuts = %v", cuts)
+	}
+}
+
+func TestMaxF1(t *testing.T) {
+	best, at := MaxF1([]int{10, 20, 30}, []float64{0.1, 0.5, 0.3})
+	if best != 0.5 || at != 20 {
+		t.Fatalf("MaxF1 = %v @ %d", best, at)
+	}
+}
+
+func TestComputeQualityAndFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality sweep is expensive")
+	}
+	d := testDataset(t)
+	cfg := testCfg()
+	qd, err := ComputeQuality(d, "actors", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Curves exist for both algorithms and all query sizes.
+	for _, alg := range []string{AlgContextRW, AlgRandomWalk} {
+		if len(qd.F1[alg]) != 5 {
+			t.Fatalf("%s has %d query sizes", alg, len(qd.F1[alg]))
+		}
+		for size, curve := range qd.F1[alg] {
+			if len(curve) != len(qd.Cuts) {
+				t.Fatalf("%s |Q|=%d: curve length %d", alg, size, len(curve))
+			}
+			for _, v := range curve {
+				if v < 0 || v > 1 {
+					t.Fatalf("F1 out of range: %v", v)
+				}
+			}
+		}
+	}
+	// The paper's headline: ContextRW beats RandomWalk on average.
+	f3 := Fig3(qd)
+	crwBest, _ := MaxF1(qd.Cuts, f3.CRW)
+	rwBest, _ := MaxF1(qd.Cuts, f3.RW)
+	if crwBest <= rwBest {
+		t.Fatalf("ContextRW max F1 %v should beat RandomWalk %v", crwBest, rwBest)
+	}
+	if adv := f3.Advantage(); adv < 1 {
+		t.Fatalf("advantage = %v, want > 1", adv)
+	}
+
+	// Renders produce non-empty tables naming the experiment.
+	for name, s := range map[string]string{
+		"fig2a": Fig2(qd, AlgContextRW).Render(),
+		"fig2b": Fig2(qd, AlgRandomWalk).Render(),
+		"fig3":  f3.Render(),
+		"fig4":  Fig4(qd).Render(),
+	} {
+		if !strings.Contains(s, "F1") && !strings.Contains(s, "Figure") {
+			t.Fatalf("%s render malformed: %q", name, s[:min(60, len(s))])
+		}
+	}
+}
+
+func TestFig5And6Timings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment is expensive")
+	}
+	d := testDataset(t)
+	cfg := testCfg()
+	f5, err := Fig5(d, "actors", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Sizes) != 5 {
+		t.Fatalf("Fig5 sizes = %v", f5.Sizes)
+	}
+	for _, alg := range []string{AlgContextRW, AlgRandomWalk} {
+		for i, s := range f5.Seconds[alg] {
+			if s <= 0 {
+				t.Fatalf("%s time[%d] = %v", alg, i, s)
+			}
+		}
+	}
+	if !strings.Contains(f5.Render(), "Figure 5") {
+		t.Fatal("Fig5 render malformed")
+	}
+
+	cfg6 := cfg
+	cfg6.Walks = 10000
+	f6, err := Fig6(d, "actors", cfg6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Lengths) != 4 || len(f6.Seconds) != 5 {
+		t.Fatalf("Fig6 shape: %d lengths, %d sizes", len(f6.Lengths), len(f6.Seconds))
+	}
+	if !strings.Contains(f6.Render(), "Figure 6") {
+		t.Fatal("Fig6 render malformed")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("|M| sweep is expensive")
+	}
+	d := testDataset(t)
+	t3, err := Table3(d, "actors", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.F1) != 4 || len(t3.F1[0]) != 4 {
+		t.Fatalf("Table3 grid %dx%d", len(t3.F1), len(t3.F1[0]))
+	}
+	// The paper's finding: F1 is insensitive to |M|. Check that within
+	// each |C| row the spread across |M| is modest relative to the level.
+	for ci, row := range t3.F1 {
+		lo, hi := row[0], row[0]
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > 0 && hi-lo > 0.6*hi {
+			t.Logf("warning: |C|=%d row varies widely across |M|: %v", t3.Cuts[ci], row)
+		}
+	}
+	if !strings.Contains(t3.Render(), "Table 3") {
+		t.Fatal("Table3 render malformed")
+	}
+}
+
+func TestActorsCaseShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("actors case is expensive")
+	}
+	d := testDataset(t)
+	a, err := RunActorsCase(d, testCfg(), dist.UnseenStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 7: created is notable under the FindNC context.
+	created, ok := a.FindNC.ByName("created")
+	if !ok || !created.Notable() {
+		t.Fatalf("created not notable: %+v", created)
+	}
+	// Figure 8: hasWonPrize is not notable under the FindNC context.
+	prize, ok := a.FindNC.ByName("hasWonPrize")
+	if !ok {
+		t.Fatal("hasWonPrize not tested")
+	}
+	if prize.Notable() {
+		t.Fatalf("hasWonPrize should not be notable: instP=%v cardP=%v", prize.InstP, prize.CardP)
+	}
+	// Figure 9: actedIn is not notable under FindNC but is under RWMult.
+	fnActed, _ := a.FindNC.ByName("actedIn")
+	rwActed, ok := a.RWMult.ByName("actedIn")
+	if !ok {
+		t.Fatal("actedIn missing from RWMult")
+	}
+	if fnActed.InstP <= 0.05 {
+		t.Fatalf("FindNC actedIn instance P = %v, want > 0.05", fnActed.InstP)
+	}
+	if rwActed.InstP > 0.05 {
+		t.Fatalf("RWMult actedIn instance P = %v, want ≤ 0.05", rwActed.InstP)
+	}
+	// Renders.
+	for _, s := range []string{a.Fig7Render(), a.Fig8Render(), a.Fig9Render()} {
+		if len(s) < 40 {
+			t.Fatalf("short render: %q", s)
+		}
+	}
+	if len(a.Fig9()) == 0 {
+		t.Fatal("Fig9 rows empty")
+	}
+}
+
+func TestMetricsComparisonOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metrics comparison is expensive")
+	}
+	d := testDataset(t)
+	a, err := RunActorsCase(d, testCfg(), dist.UnseenStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RunMetricsComparison(a)
+	if len(m.Rankings["FindNC"]) == 0 {
+		t.Fatal("FindNC ranking empty")
+	}
+	// The paper's finding: the multinomial test tracks expert judgment
+	// better than EMD and at least as well as KL. At this reduced test
+	// scale KL can tie within a switch or two, so the hard assertion is
+	// against EMD; the full-scale comparison in EXPERIMENTS.md shows the
+	// complete FindNC < KL < EMD ordering.
+	if m.Switches["FindNC"] > m.Switches["EMD"] {
+		t.Fatalf("FindNC switches %d should not exceed EMD %d",
+			m.Switches["FindNC"], m.Switches["EMD"])
+	}
+	if m.Switches["FindNC"] > m.Switches["KL"]+2 {
+		t.Fatalf("FindNC switches %d should stay within 2 of KL %d",
+			m.Switches["FindNC"], m.Switches["KL"])
+	}
+	if !strings.Contains(m.Render(), "switches") {
+		t.Fatal("metrics render malformed")
+	}
+}
+
+func TestAuthorsCaseOutcome(t *testing.T) {
+	ac, err := RunAuthorsCase(11, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ac.Influences.Notable() {
+		t.Fatalf("influences should be notable: instP=%v cardP=%v",
+			ac.Influences.InstP, ac.Influences.CardP)
+	}
+	if ac.Created.Notable() {
+		t.Fatalf("created should not be notable: instP=%v cardP=%v",
+			ac.Created.InstP, ac.Created.CardP)
+	}
+	if !strings.Contains(ac.Render(), "influences") {
+		t.Fatal("authors render malformed")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	s := Table1Render()
+	for _, name := range []string{"Angela Merkel", "Brad Pitt", "Hans Zimmer"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	yq := &QualityData{
+		Dataset: "yago-like",
+		Cuts:    []int{50, 100},
+		F1: map[string]map[int][]float64{
+			AlgContextRW: {2: {0.1, 0.2}, 3: {0.3, 0.25}},
+		},
+	}
+	lq := &QualityData{
+		Dataset: "linkedmdb-like",
+		Cuts:    []int{50, 100},
+		F1: map[string]map[int][]float64{
+			AlgContextRW: {2: {0.15, 0.3}},
+		},
+	}
+	t2 := Table2(yq, lq)
+	if got := t2.Rows[2]["yago-like"]; got[0] != 0.2 || got[1] != 100 {
+		t.Fatalf("Table2 yago row = %v", got)
+	}
+	if got := t2.Rows[2]["linkedmdb-like"]; got[0] != 0.3 {
+		t.Fatalf("Table2 lmdb row = %v", got)
+	}
+	if !strings.Contains(t2.Render(), "Table 2") {
+		t.Fatal("Table2 render malformed")
+	}
+}
+
+func TestQueryLabel(t *testing.T) {
+	got := queryLabel([]string{"Brad Pitt", "George Clooney", "X"}, 2)
+	if got != "Pitt, Clooney" {
+		t.Fatalf("queryLabel = %q", got)
+	}
+}
+
+func TestRankingFromScores(t *testing.T) {
+	scores := []float64{0.5, 0, 0.9, 0.7}
+	items := rankingFromScores(scores, map[uint32]bool{3: true}, 10)
+	if len(items) != 2 || items[0].ID != 2 || items[1].ID != 0 {
+		t.Fatalf("rankingFromScores = %v", items)
+	}
+}

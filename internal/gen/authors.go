@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kg"
+)
+
+// AuthorsDataset is the Douglas Adams / Terry Pratchett test case of
+// Section 4.2 with its two planted outcomes:
+//
+//   - influences is notable: both query authors influence one author who
+//     is influenced by only three people in total;
+//   - created is not notable: every author created only their own works
+//     (834 works, only 3 of them multi-authored), so the query's behaviour
+//     matches the context's pattern.
+type AuthorsDataset struct {
+	Graph *kg.Graph
+	// Query is {Douglas Adams, Terry Pratchett}.
+	Query []kg.NodeID
+	// InfluencedAuthor is the author influenced by only the two query
+	// authors plus one other.
+	InfluencedAuthor kg.NodeID
+	// TotalWorks counts the created works (the paper's 834).
+	TotalWorks int
+	// CoCreated counts works with more than one creator (the paper's 3).
+	CoCreated int
+}
+
+// Authors generates the authors scenario. The community is a set of
+// fantasy/sci-fi writers densely connected through shared genre and
+// publisher hubs so that context selection retrieves fellow authors.
+func Authors(seed int64) *AuthorsDataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := kg.NewBuilder(4096)
+
+	queryNames := []string{"Douglas Adams", "Terry Pratchett"}
+	authors := append([]string{}, queryNames...)
+	authors = append(authors, "Neil Gaiman") // the influenced author
+	for i := len(authors); i < 40; i++ {
+		authors = append(authors, fmt.Sprintf("Author %02d", i))
+	}
+	genres := []string{"ScienceFiction", "Fantasy", "Humour"}
+	publishers := []string{"Gollancz", "Corgi", "Harmony Books", "Doubleday"}
+
+	// Work counts are planted deterministically: 831 solo works across 40
+	// authors (20 or 21 each) plus 3 co-created works = 834 works, the
+	// paper's numbers. The query authors hold the modal count so their
+	// created cardinality is typical of the context.
+	totalWorks := 0
+	coCreated := 0
+	for i, a := range authors {
+		b.SetType(a, "author")
+		b.AddEdge(a, "writesGenre", genres[i%2])
+		b.AddEdge(a, "writesGenre", genres[2])
+		b.AddEdge(a, "publishedBy", publishers[i%len(publishers)])
+		b.AddEdge(a, "citizenOf", "UK")
+		n := 20
+		if i < 31 {
+			n = 21
+		}
+		for wk := 0; wk < n; wk++ {
+			work := fmt.Sprintf("Book %d by %s", wk, a)
+			b.SetType(work, "book")
+			b.AddEdge(a, "created", work)
+			totalWorks++
+		}
+	}
+	// Exactly three multi-authored works (the paper's count), all among
+	// non-query authors: the query authors "only created their own works
+	// and never collaborated".
+	co := []struct{ a, b, work string }{
+		{"Author 05", "Author 06", "The Meaning of Everything"},
+		{"Neil Gaiman", "Author 08", "Joint Novel"},
+		{"Author 07", "Author 09", "Joint Anthology"},
+	}
+	for _, c := range co {
+		b.SetType(c.work, "book")
+		b.AddEdge(c.a, "created", c.work)
+		b.AddEdge(c.b, "created", c.work)
+		totalWorks++
+		coCreated++
+	}
+
+	// Influence structure: most authors influence one or two colleagues,
+	// spread widely. Neil Gaiman is influenced by exactly three: the two
+	// query authors and one more — the planted notable fact.
+	b.AddEdge("Douglas Adams", "influences", "Neil Gaiman")
+	b.AddEdge("Terry Pratchett", "influences", "Neil Gaiman")
+	b.AddEdge("Author 05", "influences", "Neil Gaiman")
+	for i := 3; i < len(authors); i++ {
+		// Influence someone further down the roster (never Gaiman).
+		target := authors[3+rng.Intn(len(authors)-3)]
+		if target == "Neil Gaiman" || target == authors[i] {
+			continue
+		}
+		b.AddEdge(authors[i], "influences", target)
+	}
+
+	g := b.Build()
+	ds := &AuthorsDataset{Graph: g, TotalWorks: totalWorks, CoCreated: coCreated}
+	for _, q := range queryNames {
+		id, ok := g.NodeByName(q)
+		if !ok {
+			panic("gen: missing author " + q)
+		}
+		ds.Query = append(ds.Query, id)
+	}
+	gaiman, _ := g.NodeByName("Neil Gaiman")
+	ds.InfluencedAuthor = gaiman
+	return ds
+}

@@ -1,0 +1,55 @@
+package gen
+
+import "repro/internal/kg"
+
+// Figure1Dataset is the paper's running example graph.
+type Figure1Dataset struct {
+	Graph *kg.Graph
+	// Query is {Angela Merkel, Barack Obama}.
+	Query []kg.NodeID
+	// Context is {Vladimir Putin, Matteo Renzi, François Hollande} — the
+	// context nodes drawn in the figure.
+	Context []kg.NodeID
+}
+
+// Figure1 builds the exact toy graph of the paper's Figure 1: five
+// politicians, their studies, and their children. Merkel's missing
+// hasChild edge and her Physics studies are the two notable
+// characteristics the figure illustrates.
+func Figure1() *Figure1Dataset {
+	b := kg.NewBuilder(32)
+	for _, p := range []string{
+		"Angela Merkel", "Barack Obama", "Vladimir Putin",
+		"Matteo Renzi", "François Hollande",
+	} {
+		b.SetType(p, "politician")
+	}
+	b.AddEdge("Angela Merkel", "studied", "Physics")
+	b.AddEdge("Barack Obama", "studied", "Law")
+	b.AddEdge("Vladimir Putin", "studied", "Law")
+	b.AddEdge("Matteo Renzi", "studied", "Law")
+	b.AddEdge("François Hollande", "studied", "Law")
+
+	b.AddEdge("Barack Obama", "hasChild", "Malia")
+	b.AddEdge("Vladimir Putin", "hasChild", "Mariya")
+	b.AddEdge("Vladimir Putin", "hasChild", "Yecaterina")
+	b.AddEdge("Matteo Renzi", "hasChild", "Francesca")
+	b.AddEdge("Matteo Renzi", "hasChild", "Emanuele")
+	b.AddEdge("Matteo Renzi", "hasChild", "Ester")
+	b.AddEdge("François Hollande", "hasChild", "Thomas")
+	b.AddEdge("François Hollande", "hasChild", "Clémence")
+	b.AddEdge("François Hollande", "hasChild", "Julien")
+	b.AddEdge("François Hollande", "hasChild", "Flora")
+
+	g := b.Build()
+	ds := &Figure1Dataset{Graph: g}
+	for _, q := range []string{"Angela Merkel", "Barack Obama"} {
+		id, _ := g.NodeByName(q)
+		ds.Query = append(ds.Query, id)
+	}
+	for _, c := range []string{"Vladimir Putin", "Matteo Renzi", "François Hollande"} {
+		id, _ := g.NodeByName(c)
+		ds.Context = append(ds.Context, id)
+	}
+	return ds
+}

@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kg"
+)
+
+// LMDBConfig sizes the LinkedMDB-like dataset.
+type LMDBConfig struct {
+	Seed  int64
+	Scale float64
+}
+
+func (c LMDBConfig) withDefaults() LMDBConfig {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+func (c LMDBConfig) n(base int) int {
+	v := int(float64(base) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// LinkedMDBLike generates the movie-domain dataset: the same actor and
+// contributor communities as the YAGO-like graph but without the
+// politician domain or the general-population distractors, and with a
+// denser film structure (performances carry characters, films carry
+// genres, years, and production countries). Domain specificity is why the
+// paper measures slightly better maximal F1 here (Table 2).
+func LinkedMDBLike(cfg LMDBConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := kg.NewBuilder(cfg.n(20000))
+
+	nActors := cfg.n(300)
+	aList := cfg.n(200)
+	queryActors := Table1["actors"]
+	actors := make([]string, 0, nActors)
+	actors = append(actors, queryActors...)
+	for i := len(queryActors); i < nActors; i++ {
+		actors = append(actors, fmt.Sprintf("Actor %04d", i))
+	}
+
+	nContrib := cfg.n(150)
+	prominent := cfg.n(60)
+	queryContrib := Table1["contributors"]
+	contributors := make([]string, 0, nContrib)
+	contributors = append(contributors, queryContrib...)
+	for i := len(queryContrib); i < nContrib; i++ {
+		contributors = append(contributors, fmt.Sprintf("Contributor %04d", i))
+	}
+
+	films := numbered("Film", cfg.n(700))
+	years := numbered("Year", 40)
+	for i, f := range films {
+		b.SetType(f, "film")
+		b.AddEdge(f, "genre", genrePool[rng.Intn(len(genrePool))])
+		b.AddEdge(f, "releasedIn", years[i%len(years)])
+		b.AddEdge(f, "producedIn", countryPool[rng.Intn(8)])
+	}
+
+	for i, a := range actors {
+		b.SetType(a, "actor")
+		var nFilms int
+		var pool []string
+		if i < aList {
+			nFilms = 12 + rng.Intn(10)
+			pool = films[:len(films)*3/5]
+		} else {
+			nFilms = 2 + rng.Intn(5)
+			pool = films
+		}
+		for _, f := range sampleNames(rng, pool, nFilms) {
+			b.AddEdge(a, "performedIn", f)
+			// A denser signal than YAGO: performances also link through
+			// character nodes.
+			if rng.Float64() < 0.3 {
+				b.AddEdge(a, "playedCharacter", fmt.Sprintf("Character in %s", f))
+			}
+		}
+		if i < aList && rng.Float64() < 0.7 {
+			for _, p := range sampleNames(rng, prizePool[:12], 1+rng.Intn(2)) {
+				b.AddEdge(a, "hasWonPrize", p)
+			}
+		}
+	}
+
+	roles := []string{"directed", "produced", "scored"}
+	for i, c := range contributors {
+		b.SetType(c, "contributor")
+		role := roles[i%len(roles)]
+		var nFilms int
+		var pool []string
+		if i < prominent {
+			nFilms = 5 + rng.Intn(6)
+			pool = films[:len(films)/2]
+		} else {
+			nFilms = 1 + rng.Intn(3)
+			pool = films
+		}
+		for _, f := range sampleNames(rng, pool, nFilms) {
+			b.AddEdge(c, role, f)
+		}
+	}
+
+	d := &Dataset{
+		Graph:     b.Build(),
+		Name:      "linkedmdb-like",
+		Scenarios: map[string]*Scenario{},
+	}
+	d.Scenarios["actors"] = &Scenario{
+		Domain:      "actors",
+		Query:       queryActors,
+		GroundTruth: plantGroundTruth(cfg.Seed+100, queryActors, actors[:aList], contributors[:prominent]),
+	}
+	d.Scenarios["contributors"] = &Scenario{
+		Domain:      "contributors",
+		Query:       queryContrib,
+		GroundTruth: plantGroundTruth(cfg.Seed+200, queryContrib, contributors[:prominent], actors[:aList]),
+	}
+	return d
+}

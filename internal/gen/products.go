@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kg"
+)
+
+// ProductsDataset is the e-commerce scenario the paper's introduction
+// motivates: "a user compares two cameras and wants to know what are the
+// special features of these two with respect to all the others".
+type ProductsDataset struct {
+	Graph *kg.Graph
+	// Query is the pair of compared cameras.
+	Query []kg.NodeID
+}
+
+// Products builds a product catalog: cameras with brand, sensor, mount,
+// and feature edges plus accessory and review structure. The two query
+// cameras share a distinctive feature combination (in-body stabilization
+// and weather sealing) that the rest of their price segment lacks.
+func Products(seed int64) *ProductsDataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := kg.NewBuilder(8192)
+
+	brands := []string{"Nikon", "Canon", "Sony", "Fuji", "Olympus", "Pentax"}
+	sensors := []string{"FullFrame", "APS-C", "MicroFourThirds"}
+	mounts := []string{"F-mount", "EF-mount", "E-mount", "X-mount", "MFT-mount"}
+	segments := []string{"Entry", "Enthusiast", "Professional"}
+	features := []string{
+		"WiFi", "GPS", "TouchScreen", "4KVideo", "DualSlots",
+		"InBodyStabilization", "WeatherSealing", "SilentShutter",
+	}
+
+	queryNames := []string{"Camera Alpha-7", "Camera X-Pro9"}
+	cameras := append([]string{}, queryNames...)
+	for i := len(cameras); i < 80; i++ {
+		cameras = append(cameras, fmt.Sprintf("Camera %03d", i))
+	}
+	for i, c := range cameras {
+		b.SetType(c, "camera")
+		if i < 2 {
+			// The query pair: ordinary enthusiast cameras — their base
+			// attributes are common within the segment so that only the
+			// planted feature combination stands out.
+			b.AddEdge(c, "brand", brands[i])
+			b.AddEdge(c, "sensor", sensors[1])
+			b.AddEdge(c, "mount", mounts[i])
+			b.AddEdge(c, "segment", segments[1])
+		} else {
+			b.AddEdge(c, "brand", brands[rng.Intn(len(brands))])
+			b.AddEdge(c, "sensor", sensors[rng.Intn(len(sensors))])
+			b.AddEdge(c, "mount", mounts[rng.Intn(len(mounts))])
+			segment := segments[1] // everything compared lives in Enthusiast
+			if i >= 40 {
+				segment = segments[rng.Intn(len(segments))]
+			}
+			b.AddEdge(c, "segment", segment)
+		}
+		// Common features appear everywhere; the planted pair is rare.
+		for _, f := range features[:5] {
+			if rng.Float64() < 0.6 {
+				b.AddEdge(c, "hasFeature", f)
+			}
+		}
+		if i >= 2 && rng.Float64() < 0.06 {
+			b.AddEdge(c, "hasFeature", "InBodyStabilization")
+		}
+		if i >= 2 && rng.Float64() < 0.06 {
+			b.AddEdge(c, "hasFeature", "WeatherSealing")
+		}
+		// Accessories and reviews connect cameras of the same mount.
+		for r := 0; r < 2+rng.Intn(3); r++ {
+			b.AddEdge(c, "reviewedBy", fmt.Sprintf("Reviewer %02d", rng.Intn(30)))
+		}
+	}
+	// The planted notable characteristics of the query pair.
+	for _, q := range queryNames {
+		b.AddEdge(q, "hasFeature", "InBodyStabilization")
+		b.AddEdge(q, "hasFeature", "WeatherSealing")
+	}
+
+	g := b.Build()
+	ds := &ProductsDataset{Graph: g}
+	for _, q := range queryNames {
+		id, _ := g.NodeByName(q)
+		ds.Query = append(ds.Query, id)
+	}
+	return ds
+}

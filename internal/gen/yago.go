@@ -1,0 +1,400 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kg"
+)
+
+// YAGOConfig sizes the YAGO-like dataset. The zero value selects Scale 1,
+// which yields a graph of roughly 7k nodes and 50k edges (with inverses) —
+// large enough that context selection is non-trivial, small enough that
+// the full experiment suite runs in seconds.
+//
+// Scale multiplies every population size. AmbientScale additionally
+// multiplies only the ambient graph (the distractor population and its
+// companies): real YAGO dwarfs any one community with millions of
+// unrelated entities, and the Figure 5 timing contrast — full-graph
+// PageRank vs local walks — only appears in that regime.
+type YAGOConfig struct {
+	Seed         int64
+	Scale        float64
+	AmbientScale float64
+}
+
+func (c YAGOConfig) withDefaults() YAGOConfig {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.AmbientScale == 0 {
+		c.AmbientScale = c.Scale
+	}
+	return c
+}
+
+func (c YAGOConfig) n(base int) int {
+	v := int(float64(base) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c YAGOConfig) ambient(base int) int {
+	v := int(float64(base) * c.AmbientScale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// yagoWorld carries generation state shared between the domain builders.
+type yagoWorld struct {
+	cfg YAGOConfig
+	rng *rand.Rand
+	b   *kg.Builder
+
+	cities    []string
+	countries []string
+
+	actors       []string // all actors; aList is the prefix
+	aList        int
+	movies       []string
+	politicians  []string // community prefix heads
+	heads        int
+	contributors []string
+	prominent    int
+}
+
+// YAGOLike generates the general-purpose dataset with the three evaluation
+// domains of Table 1.
+func YAGOLike(cfg YAGOConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	w := &yagoWorld{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		b:         kg.NewBuilder(cfg.n(30000)),
+		cities:    cities(cfg.n(60)),
+		countries: countryPool,
+	}
+	w.b.Symmetric("marriedTo")
+
+	w.buildSupport()
+	w.buildActors()
+	w.buildContributors()
+	w.buildPoliticians()
+	w.buildDistractors()
+
+	g := w.b.Build()
+	d := &Dataset{
+		Graph:     g,
+		Name:      "yago-like",
+		Scenarios: map[string]*Scenario{},
+	}
+	d.Scenarios["actors"] = w.actorScenario()
+	d.Scenarios["politicians"] = w.politicianScenario()
+	d.Scenarios["contributors"] = w.contributorScenario()
+	return d
+}
+
+func (w *yagoWorld) buildSupport() {
+	for _, c := range w.countries {
+		w.b.SetType(c, "country")
+	}
+	for _, c := range w.cities {
+		w.b.SetType(c, "city")
+		w.b.AddEdge(c, "locatedIn", w.countries[w.rng.Intn(len(w.countries))])
+	}
+	for _, p := range prizePool {
+		w.b.SetType(p, "prize")
+	}
+	for _, s := range subjectPool {
+		w.b.SetType(s, "subject")
+	}
+}
+
+// person adds the attribute edges every person carries. Celebrities live
+// in the big-city prefix so that their location values are well supported
+// within any celebrity context (avoiding spurious unseen-value notability
+// for bornIn/livesIn under the strict policy); the general population
+// spreads over every city.
+func (w *yagoWorld) person(name, typ string) {
+	w.b.SetType(name, typ)
+	// Celebrities and the ambient population live in disjoint city pools:
+	// in real YAGO the millions of ambient entities are overwhelmingly
+	// unrelated to any one community. Sharing location hubs would wire
+	// every distractor into the query's 2-hop neighborhood, which both
+	// real data and the paper's locality arguments rule out.
+	half := len(w.cities) / 2
+	pool := w.cities[half:]
+	if typ != "person" {
+		pool = w.cities[:half]
+	}
+	if len(pool) == 0 {
+		pool = w.cities
+	}
+	w.b.AddEdge(name, "bornIn", pool[w.rng.Intn(len(pool))])
+	w.b.AddEdge(name, "livesIn", pool[w.rng.Intn(len(pool))])
+	// Only the celebrity domains carry gender facts. Giving the whole
+	// ambient population gender edges would create two hub nodes touching
+	// half the graph — a relative hub size real YAGO (3.3M nodes) never
+	// has — which distorts both walk mining and path-counting costs.
+	if typ != "person" {
+		if w.rng.Float64() < 0.5 {
+			w.b.AddEdge(name, "gender", "male")
+		} else {
+			w.b.AddEdge(name, "gender", "female")
+		}
+	}
+}
+
+// buildActors creates the actor community. The A-list prefix (which
+// contains the Table 1 query actors) co-stars densely, carries the planted
+// created/hasWonPrize/owns distributions of Figures 7–9, and is the pool
+// the ground truth samples from.
+func (w *yagoWorld) buildActors() {
+	nActors := w.cfg.n(320)
+	w.aList = w.cfg.n(240)
+	queryNames := Table1["actors"]
+	w.actors = make([]string, 0, nActors)
+	w.actors = append(w.actors, queryNames...)
+	for i := len(queryNames); i < nActors; i++ {
+		w.actors = append(w.actors, fmt.Sprintf("Actor %04d", i))
+	}
+	w.movies = numbered("Movie", w.cfg.n(500))
+	years := numbered("Year", 40)
+
+	for i, m := range w.movies {
+		w.b.SetType(m, "movie")
+		// Rich movie attributes spread PageRank mass away from people,
+		// which is what keeps the RandomWalk baseline's context diluted
+		// (in real YAGO the same role is played by the sheer entity
+		// variety around each movie).
+		w.b.AddEdge(m, "genre", genrePool[w.rng.Intn(len(genrePool))])
+		w.b.AddEdge(m, "releasedIn", years[i%len(years)])
+		if w.rng.Float64() < 0.3 {
+			w.b.AddEdge(m, "producedIn", w.countries[w.rng.Intn(len(w.countries))])
+		}
+	}
+	// Planted query filmography sizes: distinct, well-populated
+	// cardinality bins so the actedIn cardinality test compares like with
+	// like (the query is drawn from the same regime as the community).
+	queryFilms := []int{12, 10, 14, 9, 11, 13}
+	// Planted query prize cardinalities: 4 of the 5-actor query have won
+	// (the paper's "winning a prize is common for actors (75%)").
+	queryPrizes := []int{2, 2, 1, 1, 0, 2}
+	for i, a := range w.actors {
+		w.person(a, "actor")
+		// Filmography: community members act in many movies, others in
+		// few. Casts overlap because community roles are drawn from the
+		// same movie pool prefix, which creates the co-star community
+		// ContextRW mines.
+		var nFilms int
+		var pool []string
+		switch {
+		case i < len(queryNames):
+			nFilms = queryFilms[i]
+			pool = w.movies[:len(w.movies)*3/5]
+		case i < w.aList:
+			nFilms = 8 + w.rng.Intn(8)
+			pool = w.movies[:len(w.movies)*3/5]
+		default:
+			nFilms = 2 + w.rng.Intn(4)
+			pool = w.movies
+		}
+		for _, m := range sampleNames(w.rng, pool, nFilms) {
+			w.b.AddEdge(a, "actedIn", m)
+		}
+		switch {
+		case i < len(queryNames):
+			for _, p := range sampleNames(w.rng, prizePool, queryPrizes[i]) {
+				w.b.AddEdge(a, "hasWonPrize", p)
+			}
+		case i < w.aList:
+			// hasWonPrize: uniform propensity inside the community so the
+			// query and context distributions agree (Figure 8).
+			if w.rng.Float64() < 0.72 {
+				for _, p := range sampleNames(w.rng, prizePool, 1+w.rng.Intn(3)) {
+					w.b.AddEdge(a, "hasWonPrize", p)
+				}
+			}
+			// created: 57% of the community created a distinct work
+			// (Figure 7's 43% None). Values are actor-specific, which is
+			// exactly what makes the label notable for the query. Query
+			// actors get their created facts planted explicitly below.
+			if w.rng.Float64() < 0.57 {
+				w.b.AddEdge(a, "created", fmt.Sprintf("Show by %s", a))
+			}
+		}
+	}
+	// Planted query facts (Figure 7: Pitt is the one query actor without
+	// created; Figure 9: Pitt is the only query actor owning a company).
+	for _, a := range queryNames {
+		if a == "Brad Pitt" {
+			continue
+		}
+		w.b.AddEdge(a, "created", fmt.Sprintf("Show by %s", a))
+	}
+	w.b.AddEdge("Brad Pitt", "owns", "Plan B Entertainment")
+	// One community actor owns a company too, so `owns` is rare-but-seen:
+	// under the pooled policy this lands near the 0.05 threshold — the
+	// paper's "choosing 0.1 would include owns" observation.
+	w.b.AddEdge(w.actors[len(queryNames)], "owns", "Maple Pictures")
+	// Sparse marriages inside the community, never touching the query
+	// actors (a query-actor spouse would be a trivially unseen instance
+	// value for any context that excludes the spouse).
+	for i := len(queryNames); i+1 < w.aList; i += 7 {
+		w.b.AddEdge(w.actors[i], "marriedTo", w.actors[i+1])
+	}
+}
+
+// buildContributors creates directors, composers, and producers attached
+// to the same movie pool.
+func (w *yagoWorld) buildContributors() {
+	n := w.cfg.n(160)
+	w.prominent = w.cfg.n(70)
+	queryNames := Table1["contributors"]
+	w.contributors = make([]string, 0, n)
+	w.contributors = append(w.contributors, queryNames...)
+	for i := len(queryNames); i < n; i++ {
+		w.contributors = append(w.contributors, fmt.Sprintf("Contributor %04d", i))
+	}
+	roles := []string{"directed", "produced", "wroteMusicFor"}
+	for i, c := range w.contributors {
+		w.person(c, "contributor")
+		role := roles[i%len(roles)]
+		var nFilms int
+		var pool []string
+		if i < w.prominent {
+			nFilms = 4 + w.rng.Intn(5)
+			pool = w.movies[:len(w.movies)*3/5]
+		} else {
+			nFilms = 1 + w.rng.Intn(3)
+			pool = w.movies
+		}
+		for _, m := range sampleNames(w.rng, pool, nFilms) {
+			w.b.AddEdge(c, role, m)
+		}
+		if i < w.prominent && w.rng.Float64() < 0.5 {
+			for _, p := range sampleNames(w.rng, prizePool, 1+w.rng.Intn(2)) {
+				w.b.AddEdge(c, "hasWonPrize", p)
+			}
+		}
+	}
+}
+
+// buildPoliticians creates the heads-of-state community (with the planted
+// Merkel facts: Physics, doctorate, no children) plus ordinary
+// politicians.
+func (w *yagoWorld) buildPoliticians() {
+	n := w.cfg.n(150)
+	w.heads = w.cfg.n(80)
+	queryNames := Table1["politicians"]
+	w.politicians = make([]string, 0, n)
+	w.politicians = append(w.politicians, queryNames...)
+	for i := len(queryNames); i < n; i++ {
+		w.politicians = append(w.politicians, fmt.Sprintf("Politician %04d", i))
+	}
+	for i, p := range w.politicians {
+		w.person(p, "politician")
+		w.b.AddEdge(p, "memberOfParty", partyPool[w.rng.Intn(len(partyPool))])
+		if i < w.heads {
+			// Community hubs: office, organizations, summits.
+			w.b.AddEdge(p, "politicianOf", w.countries[i%len(w.countries)])
+			w.b.AddEdge(p, "memberOf", orgPool[w.rng.Intn(2)]) // UN or G20
+			for _, s := range sampleNames(w.rng, summitPool, 2+w.rng.Intn(3)) {
+				w.b.AddEdge(p, "attended", s)
+			}
+		} else if w.rng.Float64() < 0.15 {
+			// A few ordinary politicians hold doctorates, so the label
+			// exists in the graph outside the heads-of-state community.
+			w.b.AddEdge(p, "hasDoctorate", "Doctorate")
+		}
+		if p == "Angela Merkel" {
+			w.b.AddEdge(p, "studied", "Physics")
+			w.b.AddEdge(p, "hasDoctorate", "Doctorate")
+			continue // no children: the paper's notable characteristic
+		}
+		switch r := w.rng.Float64(); {
+		case r < 0.75:
+			w.b.AddEdge(p, "studied", "Law")
+		case r < 0.90:
+			w.b.AddEdge(p, "studied", "Political Science")
+		default:
+			w.b.AddEdge(p, "studied", "Economics")
+		}
+		// Every non-Merkel community member has children (the paper:
+		// "in the context all other leaders have at least one").
+		kids := 1 + w.rng.Intn(3)
+		if i >= w.heads {
+			kids = w.rng.Intn(3) // ordinary politicians may be childless
+		}
+		for c := 0; c < kids; c++ {
+			child := fmt.Sprintf("Child of %s %d", p, c)
+			w.b.SetType(child, "person")
+			w.b.AddEdge(p, "hasChild", child)
+		}
+	}
+}
+
+// buildDistractors creates the ambient population that dilutes naive
+// context selection, mirroring YAGO's generality.
+func (w *yagoWorld) buildDistractors() {
+	n := w.cfg.ambient(3000)
+	companies := numbered("Company", w.cfg.ambient(80))
+	for _, c := range companies {
+		w.b.SetType(c, "company")
+	}
+	// Ambient people study vocational subjects disjoint from the
+	// celebrity curriculum (Law/Political Science/Economics/Physics);
+	// shared subject hubs would otherwise pull the whole population into
+	// the query's metapath frontier.
+	ambientSubjects := subjectPool[4:]
+	celebs := make([]string, 0, len(w.actors)+len(w.politicians)+len(w.contributors))
+	celebs = append(celebs, w.actors...)
+	celebs = append(celebs, w.politicians...)
+	celebs = append(celebs, w.contributors...)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("Person %05d", i)
+		w.person(name, "person")
+		w.b.AddEdge(name, "worksAt", companies[w.rng.Intn(len(companies))])
+		if w.rng.Float64() < 0.4 {
+			w.b.AddEdge(name, "studied", ambientSubjects[w.rng.Intn(len(ambientSubjects))])
+		}
+		// A small fan population keeps the graph connected to the
+		// celebrity domains without creating hub shortcuts.
+		if w.rng.Float64() < 0.02 {
+			w.b.AddEdge(name, "fanOf", celebs[w.rng.Intn(len(celebs))])
+		}
+		for c := 0; c < w.rng.Intn(3); c++ {
+			child := fmt.Sprintf("Child of %s %d", name, c)
+			w.b.SetType(child, "person")
+			w.b.AddEdge(name, "hasChild", child)
+		}
+	}
+}
+
+func (w *yagoWorld) actorScenario() *Scenario {
+	return &Scenario{
+		Domain:      "actors",
+		Query:       Table1["actors"],
+		GroundTruth: plantGroundTruth(w.cfg.Seed+1000, Table1["actors"], w.actors[:w.aList], w.contributors[:w.prominent]),
+	}
+}
+
+func (w *yagoWorld) politicianScenario() *Scenario {
+	return &Scenario{
+		Domain:      "politicians",
+		Query:       Table1["politicians"],
+		GroundTruth: plantGroundTruth(w.cfg.Seed+2000, Table1["politicians"], w.politicians[:w.heads], w.politicians[w.heads:]),
+	}
+}
+
+func (w *yagoWorld) contributorScenario() *Scenario {
+	return &Scenario{
+		Domain:      "contributors",
+		Query:       Table1["contributors"],
+		GroundTruth: plantGroundTruth(w.cfg.Seed+3000, Table1["contributors"], w.contributors[:w.prominent], w.actors[:w.aList]),
+	}
+}

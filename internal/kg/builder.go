@@ -1,0 +1,225 @@
+package kg
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/triplestore"
+)
+
+// rawEdge is a builder-side edge with an explicit source.
+type rawEdge struct {
+	from  NodeID
+	label LabelID
+	to    NodeID
+}
+
+// Builder accumulates nodes, typed nodes, and edges, then produces an
+// immutable Graph. By default every added edge also produces its reverse
+// edge under the inverse label (Section 2's modelling assumption); labels
+// can be declared symmetric so that they act as their own inverse.
+type Builder struct {
+	nodes  *dict.Dict
+	labels *dict.Dict
+	types  *dict.Dict
+
+	edges     []rawEdge
+	nodeType  []TypeID
+	symmetric map[LabelID]bool
+	noInverse bool
+}
+
+// NewBuilder returns a Builder with capacity hints for nEdges edges.
+func NewBuilder(nEdges int) *Builder {
+	return &Builder{
+		nodes:     dict.New(nEdges / 4),
+		labels:    dict.New(32),
+		types:     dict.New(32),
+		edges:     make([]rawEdge, 0, nEdges),
+		symmetric: make(map[LabelID]bool),
+	}
+}
+
+// DisableInverses stops the Builder from materializing reverse edges.
+// Intended for tests and for loading files that already contain them.
+func (b *Builder) DisableInverses() *Builder {
+	b.noInverse = true
+	return b
+}
+
+// Node interns a node name and returns its ID.
+func (b *Builder) Node(name string) NodeID {
+	id := b.nodes.Put(name)
+	for len(b.nodeType) < b.nodes.Len() {
+		b.nodeType = append(b.nodeType, NoType)
+	}
+	return id
+}
+
+// Label interns an edge label name and returns its ID.
+func (b *Builder) Label(name string) LabelID { return b.labels.Put(name) }
+
+// Type interns a node type name and returns its ID.
+func (b *Builder) Type(name string) TypeID { return b.types.Put(name) }
+
+// Symmetric declares label name to be its own inverse (e.g. "spouse").
+// Edges with a symmetric label are mirrored under the same label.
+func (b *Builder) Symmetric(name string) *Builder {
+	b.symmetric[b.Label(name)] = true
+	return b
+}
+
+// SetType assigns the primary type of a node.
+func (b *Builder) SetType(node, typeName string) {
+	n := b.Node(node)
+	b.nodeType[n] = b.Type(typeName)
+}
+
+// SetTypeID assigns the primary type of an already-interned node.
+func (b *Builder) SetTypeID(n NodeID, t TypeID) { b.nodeType[n] = t }
+
+// AddEdge records the edge (from, label, to), interning all names.
+func (b *Builder) AddEdge(from, label, to string) {
+	b.AddEdgeIDs(b.Node(from), b.Label(label), b.Node(to))
+}
+
+// AddEdgeIDs records an edge between already-interned IDs.
+func (b *Builder) AddEdgeIDs(from NodeID, label LabelID, to NodeID) {
+	b.edges = append(b.edges, rawEdge{from: from, label: label, to: to})
+}
+
+// NumEdges returns the number of forward edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// NumNodes returns the number of interned nodes so far.
+func (b *Builder) NumNodes() int { return b.nodes.Len() }
+
+// Build freezes the Builder into a Graph. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() *Graph {
+	// Assign inverse labels first so the label dictionary is complete.
+	nFwd := b.labels.Len()
+	inverse := make([]LabelID, nFwd)
+	for l := 0; l < nFwd; l++ {
+		if b.symmetric[LabelID(l)] {
+			inverse[l] = LabelID(l)
+			continue
+		}
+		inverse[l] = b.labels.Put(InverseName(b.labels.String(LabelID(l))))
+	}
+	// Inverse labels introduced above map back to their base label.
+	full := make([]LabelID, b.labels.Len())
+	copy(full, inverse)
+	for l := 0; l < nFwd; l++ {
+		if inv := inverse[l]; int(inv) >= nFwd {
+			full[inv] = LabelID(l)
+		}
+	}
+
+	all := b.edges
+	if !b.noInverse {
+		all = make([]rawEdge, 0, 2*len(b.edges))
+		all = append(all, b.edges...)
+		for _, e := range b.edges {
+			rev := rawEdge{from: e.to, label: full[e.label], to: e.from}
+			// A symmetric self-loop would duplicate itself exactly;
+			// deduplication below handles that.
+			all = append(all, rev)
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, c := all[i], all[j]
+		if a.from != c.from {
+			return a.from < c.from
+		}
+		if a.label != c.label {
+			return a.label < c.label
+		}
+		return a.to < c.to
+	})
+	// Deduplicate exact (from, label, to) repeats.
+	w := 0
+	for i, e := range all {
+		if i == 0 || e != all[i-1] {
+			all[w] = e
+			w++
+		}
+	}
+	all = all[:w]
+
+	n := b.nodes.Len()
+	g := &Graph{
+		nodes:      b.nodes,
+		labels:     b.labels,
+		types:      b.types,
+		offsets:    make([]int64, n+1),
+		edges:      make([]Edge, len(all)),
+		nodeType:   b.nodeType,
+		inverse:    full,
+		labelCount: make([]int64, b.labels.Len()),
+	}
+	for len(g.nodeType) < n {
+		g.nodeType = append(g.nodeType, NoType)
+	}
+	for _, e := range all {
+		g.offsets[e.from+1]++
+		g.labelCount[e.label]++
+	}
+	for i := 1; i <= n; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	cursor := make([]int64, n)
+	for _, e := range all {
+		pos := g.offsets[e.from] + cursor[e.from]
+		g.edges[pos] = Edge{Label: e.label, To: e.to}
+		cursor[e.from]++
+	}
+
+	g.weight = make([]float64, b.labels.Len())
+	total := float64(len(g.edges))
+	for l := range g.weight {
+		if total > 0 {
+			g.weight[l] = 1 - float64(g.labelCount[l])/total
+		}
+	}
+	g.wdeg = make([]float64, n)
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		for _, e := range g.OutEdges(NodeID(v)) {
+			sum += g.weight[e.Label]
+		}
+		g.wdeg[v] = sum
+	}
+	b.edges = nil
+	return g
+}
+
+// FromStore converts a triple store into a Graph. Triples whose predicate
+// equals typePredicate become node-type assignments instead of edges; pass
+// "" to treat every predicate as an edge label. Reverse edges are added
+// unless the builder-level convention is already present in the data (they
+// are deduplicated either way).
+func FromStore(s *triplestore.Store, typePredicate string) *Graph {
+	b := NewBuilder(s.NumTriples())
+	typeP := uint32(triplestore.Wildcard)
+	if typePredicate != "" {
+		if id := s.Predicates().Lookup(typePredicate); id != dict.NoID {
+			typeP = id
+		}
+	}
+	nodeNames := s.Nodes()
+	predNames := s.Predicates()
+	// Intern nodes first so kg IDs match store IDs where possible.
+	for _, name := range nodeNames.Strings() {
+		b.Node(name)
+	}
+	for _, t := range s.Triples() {
+		if t.P == typeP {
+			b.SetType(nodeNames.String(t.S), nodeNames.String(t.O))
+			continue
+		}
+		b.AddEdge(nodeNames.String(t.S), predNames.String(t.P), nodeNames.String(t.O))
+	}
+	return b.Build()
+}

@@ -1,0 +1,131 @@
+package kg
+
+import (
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+func TestFromStore(t *testing.T) {
+	b := triplestore.NewBuilder(8)
+	b.Add("merkel", "type", "politician")
+	b.Add("merkel", "leaderOf", "germany")
+	b.Add("obama", "type", "politician")
+	b.Add("obama", "leaderOf", "usa")
+	b.Add("germany", "type", "country")
+	s := b.Freeze()
+
+	g := FromStore(s, "type")
+	merkel, ok := g.NodeByName("merkel")
+	if !ok {
+		t.Fatal("merkel missing")
+	}
+	if g.TypeName(g.TypeOf(merkel)) != "politician" {
+		t.Fatalf("TypeOf(merkel) = %q", g.TypeName(g.TypeOf(merkel)))
+	}
+	leaderOf, ok := g.LabelByName("leaderOf")
+	if !ok {
+		t.Fatal("leaderOf missing")
+	}
+	if int(g.LabelCount(leaderOf)) != 2 {
+		t.Fatalf("leaderOf count = %d, want 2", g.LabelCount(leaderOf))
+	}
+	// type triples must not appear as edges.
+	if _, ok := g.LabelByName("type"); ok {
+		t.Fatal("type predicate leaked into edge labels")
+	}
+	// Reverse edges exist.
+	germany, _ := g.NodeByName("germany")
+	if !g.HasEdge(germany, g.InverseLabel(leaderOf), merkel) {
+		t.Fatal("reverse edge missing after FromStore")
+	}
+}
+
+func TestFromStoreNoTypePredicate(t *testing.T) {
+	b := triplestore.NewBuilder(4)
+	b.Add("a", "type", "thing")
+	b.Add("a", "p", "b")
+	s := b.Freeze()
+	g := FromStore(s, "")
+	// With no type predicate configured, "type" is an ordinary edge.
+	if _, ok := g.LabelByName("type"); !ok {
+		t.Fatal("type should be an edge label when typePredicate is empty")
+	}
+	a, _ := g.NodeByName("a")
+	if g.TypeOf(a) != NoType {
+		t.Fatal("no node types should be assigned")
+	}
+}
+
+func TestFromStoreMissingTypePredicate(t *testing.T) {
+	b := triplestore.NewBuilder(2)
+	b.Add("a", "p", "b")
+	s := b.Freeze()
+	// Asking for a type predicate that does not occur must not panic.
+	g := FromStore(s, "type")
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+}
+
+func TestBuilderCounts(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge("a", "p", "b")
+	b.AddEdge("b", "q", "c")
+	if b.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", b.NumEdges())
+	}
+	if b.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", b.NumNodes())
+	}
+}
+
+func TestDisableInverses(t *testing.T) {
+	b := NewBuilder(2).DisableInverses()
+	b.AddEdge("a", "p", "b")
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 without inverses", g.NumEdges())
+	}
+	// Inverse labels are still assigned (the dictionary is complete) but
+	// no reverse edge exists.
+	p, _ := g.LabelByName("p")
+	bNode, _ := g.NodeByName("b")
+	aNode, _ := g.NodeByName("a")
+	if g.HasEdge(bNode, g.InverseLabel(p), aNode) {
+		t.Fatal("reverse edge exists despite DisableInverses")
+	}
+}
+
+func TestSetTypeID(t *testing.T) {
+	b := NewBuilder(2)
+	n := b.Node("x")
+	tid := b.Type("thing")
+	b.SetTypeID(n, tid)
+	g := b.Build()
+	if g.TypeName(g.TypeOf(n)) != "thing" {
+		t.Fatal("SetTypeID not honored")
+	}
+}
+
+func TestSelfLoopSymmetric(t *testing.T) {
+	b := NewBuilder(2)
+	b.Symmetric("knows")
+	b.AddEdge("a", "knows", "a")
+	g := b.Build()
+	// A symmetric self-loop collapses to a single edge after dedup.
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestMultipleLabelsBetweenSamePair(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge("a", "p", "b")
+	b.AddEdge("a", "q", "b")
+	g := b.Build()
+	a, _ := g.NodeByName("a")
+	if g.OutDegree(a) != 2 {
+		t.Fatalf("OutDegree(a) = %d, want 2 parallel edges", g.OutDegree(a))
+	}
+}

@@ -1,0 +1,214 @@
+// Package kg defines the in-memory knowledge-graph model used by every
+// algorithm in this repository.
+//
+// A knowledge graph follows Definition 1 of the paper: a directed graph
+// G = (V, E, φ, ψ) where nodes carry a type label (φ) and edges carry an
+// edge label (ψ). Two modelling assumptions from Section 2 are baked in:
+//
+//   - Attributes are modelled as edges to value nodes (a birth date is a
+//     node connected via a "birthdate" edge), so the graph is homogeneous.
+//   - Every edge (s, l, o) has a reverse edge (o, l⁻¹, s). The Builder adds
+//     reverse edges automatically; the inverse of label "foo" is named
+//     "foo⁻¹" and InverseLabel maps between the two in O(1).
+//
+// The adjacency is stored in compressed sparse row (CSR) form: a single
+// edge slice sorted by (label, target) per node, plus per-node offsets.
+// Graphs are immutable after Build and safe for concurrent readers.
+package kg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// NodeID identifies a node. IDs are dense: 0..NumNodes-1.
+type NodeID = uint32
+
+// LabelID identifies an edge label. IDs are dense: 0..NumLabels-1 and
+// include the automatically generated inverse labels.
+type LabelID = uint32
+
+// TypeID identifies a node type.
+type TypeID = uint32
+
+// NoType marks nodes without an assigned type.
+const NoType TypeID = ^TypeID(0)
+
+// InverseSuffix is appended to a label name to form its inverse's name.
+const InverseSuffix = "⁻¹"
+
+// InverseName returns the conventional name of the inverse of label name.
+// Applying it twice returns the original name.
+func InverseName(name string) string {
+	if base, ok := baseName(name); ok {
+		return base
+	}
+	return name + InverseSuffix
+}
+
+// baseName strips InverseSuffix, reporting whether name carried it.
+func baseName(name string) (string, bool) {
+	if n := len(name) - len(InverseSuffix); n >= 0 && name[n:] == InverseSuffix {
+		return name[:n], true
+	}
+	return name, false
+}
+
+// Edge is a labeled, directed edge to a target node. Edges are stored in
+// the owning node's adjacency list, so the source is implicit.
+type Edge struct {
+	Label LabelID
+	To    NodeID
+}
+
+// Graph is an immutable labeled multigraph. Build one with a Builder.
+type Graph struct {
+	nodes  *dict.Dict
+	labels *dict.Dict
+	types  *dict.Dict
+
+	offsets []int64 // len NumNodes+1; edge range of node n is edges[offsets[n]:offsets[n+1]]
+	edges   []Edge  // sorted by (Label, To) within each node's range
+
+	nodeType   []TypeID  // primary type per node (NoType if unset)
+	inverse    []LabelID // inverse[l] = l⁻¹
+	labelCount []int64   // edges per label (inverses counted separately)
+
+	// weight[l] = 1 − |E_l|/|E| (Eq. 1), the informativeness of label l.
+	weight []float64
+	// wdeg[n] = Σ_{e ∈ out(n)} weight[e.Label], cached for transition
+	// probability normalization.
+	wdeg []float64
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E| including the automatically added inverse edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumLabels returns the number of distinct edge labels, inverses included.
+func (g *Graph) NumLabels() int { return g.labels.Len() }
+
+// NumTypes returns the number of distinct node types.
+func (g *Graph) NumTypes() int { return g.types.Len() }
+
+// NodeName returns the name of node n.
+func (g *Graph) NodeName(n NodeID) string { return g.nodes.String(n) }
+
+// NodeByName returns the ID of the named node, and whether it exists.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id := g.nodes.Lookup(name)
+	return id, id != dict.NoID
+}
+
+// LabelName returns the name of edge label l.
+func (g *Graph) LabelName(l LabelID) string { return g.labels.String(l) }
+
+// LabelByName returns the ID of the named edge label, and whether it exists.
+func (g *Graph) LabelByName(name string) (LabelID, bool) {
+	id := g.labels.Lookup(name)
+	return id, id != dict.NoID
+}
+
+// TypeName returns the name of node type t.
+func (g *Graph) TypeName(t TypeID) string {
+	if t == NoType {
+		return ""
+	}
+	return g.types.String(t)
+}
+
+// TypeOf returns φ(n), the primary type of node n (NoType if unset).
+func (g *Graph) TypeOf(n NodeID) TypeID { return g.nodeType[n] }
+
+// InverseLabel returns l⁻¹.
+func (g *Graph) InverseLabel(l LabelID) LabelID { return g.inverse[l] }
+
+// IsInverse reports whether l is one of the automatically generated inverse
+// labels (its name carries InverseSuffix).
+func (g *Graph) IsInverse(l LabelID) bool {
+	_, ok := baseName(g.labels.String(l))
+	return ok
+}
+
+// OutEdges returns the adjacency slice of node n, sorted by (Label, To).
+// The slice is owned by the graph and must not be modified.
+func (g *Graph) OutEdges(n NodeID) []Edge {
+	return g.edges[g.offsets[n]:g.offsets[n+1]]
+}
+
+// OutDegree returns the number of outgoing edges of n (inverses included).
+func (g *Graph) OutDegree(n NodeID) int {
+	return int(g.offsets[n+1] - g.offsets[n])
+}
+
+// OutEdgesByLabel returns the contiguous sub-slice of n's adjacency whose
+// label is l. The slice is owned by the graph and must not be modified.
+func (g *Graph) OutEdgesByLabel(n NodeID, l LabelID) []Edge {
+	adj := g.OutEdges(n)
+	lo := sort.Search(len(adj), func(i int) bool { return adj[i].Label >= l })
+	hi := sort.Search(len(adj), func(i int) bool { return adj[i].Label > l })
+	return adj[lo:hi]
+}
+
+// HasEdge reports whether the edge (n, l, to) exists.
+func (g *Graph) HasEdge(n NodeID, l LabelID, to NodeID) bool {
+	adj := g.OutEdgesByLabel(n, l)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i].To >= to })
+	return i < len(adj) && adj[i].To == to
+}
+
+// LabelCount returns |E_l|, the number of edges labeled l.
+func (g *Graph) LabelCount(l LabelID) int64 { return g.labelCount[l] }
+
+// LabelFrequency returns |E_l| / |E|.
+func (g *Graph) LabelFrequency(l LabelID) float64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	return float64(g.labelCount[l]) / float64(len(g.edges))
+}
+
+// LabelWeight returns the informativeness weight 1 − |E_l|/|E| of Eq. 1.
+func (g *Graph) LabelWeight(l LabelID) float64 { return g.weight[l] }
+
+// WeightedOutDegree returns Σ over out-edges of n of LabelWeight, the
+// normalizer of the weighted transition probability.
+func (g *Graph) WeightedOutDegree(n NodeID) float64 { return g.wdeg[n] }
+
+// LabelsOf returns the distinct edge labels present on the out-edges of the
+// given nodes — L restricted to the set, per Definition 3.
+func (g *Graph) LabelsOf(nodes []NodeID) []LabelID {
+	seen := make(map[LabelID]struct{})
+	for _, n := range nodes {
+		for _, e := range g.OutEdges(n) {
+			seen[e.Label] = struct{}{}
+		}
+	}
+	out := make([]LabelID, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodesWithType returns all nodes whose primary type is t, in ID order.
+func (g *Graph) NodesWithType(t TypeID) []NodeID {
+	var out []NodeID
+	for n, tt := range g.nodeType {
+		if tt == t {
+			out = append(out, NodeID(n))
+		}
+	}
+	return out
+}
+
+// Stats returns a one-line summary of the graph's size.
+func (g *Graph) Stats() string {
+	return fmt.Sprintf("%d nodes, %d edges, %d labels, %d types",
+		g.NumNodes(), g.NumEdges(), g.NumLabels(), g.NumTypes())
+}

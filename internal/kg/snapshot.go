@@ -1,0 +1,177 @@
+package kg
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dict"
+	"repro/internal/snapshot"
+)
+
+// Snapshot format identity. Bump the version when the payload layout
+// changes; readers reject mismatched versions outright.
+const (
+	snapMagic   = "KGSNAP\x00\x01"
+	snapVersion = 1
+)
+
+// WriteSnapshot serializes the graph to w in the binary snapshot format:
+// dictionaries, per-node types, and the CSR adjacency, varint-encoded and
+// protected by a CRC32 trailer. Derived data (label counts, weights) is
+// recomputed on load rather than stored.
+func (g *Graph) WriteSnapshot(w io.Writer) error {
+	sw := snapshot.NewWriter(w, snapMagic, snapVersion)
+
+	writeDict := func(d *dict.Dict) {
+		sw.Uvarint(uint64(d.Len()))
+		for _, s := range d.Strings() {
+			sw.String(s)
+		}
+	}
+	writeDict(g.nodes)
+	writeDict(g.labels)
+	writeDict(g.types)
+
+	for _, inv := range g.inverse {
+		sw.Uvarint(uint64(inv))
+	}
+	for _, t := range g.nodeType {
+		if t == NoType {
+			sw.Uvarint(0)
+		} else {
+			sw.Uvarint(uint64(t) + 1)
+		}
+	}
+	// Adjacency: degree then (label, delta-encoded target) per edge. Edges
+	// within a node are sorted by (label, to), so targets within one label
+	// run are non-decreasing and delta-encode well.
+	for n := 0; n < g.NumNodes(); n++ {
+		adj := g.OutEdges(NodeID(n))
+		sw.Uvarint(uint64(len(adj)))
+		prevLabel := LabelID(0)
+		prevTo := NodeID(0)
+		for _, e := range adj {
+			sw.Uvarint(uint64(e.Label))
+			if e.Label != prevLabel {
+				prevTo = 0
+			}
+			sw.Varint(int64(e.To) - int64(prevTo))
+			prevLabel, prevTo = e.Label, e.To
+		}
+	}
+	if err := sw.Err(); err != nil {
+		return fmt.Errorf("kg: writing snapshot: %w", err)
+	}
+	return sw.Close()
+}
+
+// ReadSnapshot deserializes a graph previously written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	sr, err := snapshot.NewReader(r, snapMagic, snapVersion)
+	if err != nil {
+		return nil, fmt.Errorf("kg: reading snapshot: %w", err)
+	}
+
+	readDict := func() *dict.Dict {
+		n := int(sr.Uvarint())
+		if sr.Err() != nil || n < 0 {
+			return dict.New(0)
+		}
+		d := dict.New(n)
+		for i := 0; i < n; i++ {
+			d.Put(sr.String())
+		}
+		return d
+	}
+	nodes := readDict()
+	labels := readDict()
+	types := readDict()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+
+	nLabels := labels.Len()
+	inverse := make([]LabelID, nLabels)
+	for i := range inverse {
+		v := sr.Uvarint()
+		if v >= uint64(nLabels) && sr.Err() == nil {
+			return nil, fmt.Errorf("%w: inverse label %d out of range", snapshot.ErrCorrupt, v)
+		}
+		inverse[i] = LabelID(v)
+	}
+	nNodes := nodes.Len()
+	nodeType := make([]TypeID, nNodes)
+	for i := range nodeType {
+		v := sr.Uvarint()
+		if v == 0 {
+			nodeType[i] = NoType
+			continue
+		}
+		if v-1 >= uint64(types.Len()) && sr.Err() == nil {
+			return nil, fmt.Errorf("%w: node type %d out of range", snapshot.ErrCorrupt, v-1)
+		}
+		nodeType[i] = TypeID(v - 1)
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+
+	g := &Graph{
+		nodes:      nodes,
+		labels:     labels,
+		types:      types,
+		offsets:    make([]int64, nNodes+1),
+		nodeType:   nodeType,
+		inverse:    inverse,
+		labelCount: make([]int64, nLabels),
+	}
+	for n := 0; n < nNodes; n++ {
+		deg := sr.Uvarint()
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		g.offsets[n+1] = g.offsets[n] + int64(deg)
+		prevLabel := LabelID(0)
+		prevTo := NodeID(0)
+		for i := uint64(0); i < deg; i++ {
+			lab := sr.Uvarint()
+			if lab >= uint64(nLabels) && sr.Err() == nil {
+				return nil, fmt.Errorf("%w: edge label %d out of range", snapshot.ErrCorrupt, lab)
+			}
+			l := LabelID(lab)
+			if l != prevLabel {
+				prevTo = 0
+			}
+			to := int64(prevTo) + sr.Varint()
+			if (to < 0 || to >= int64(nNodes)) && sr.Err() == nil {
+				return nil, fmt.Errorf("%w: edge target %d out of range", snapshot.ErrCorrupt, to)
+			}
+			if sr.Err() != nil {
+				return nil, sr.Err()
+			}
+			g.edges = append(g.edges, Edge{Label: l, To: NodeID(to)})
+			g.labelCount[l]++
+			prevLabel, prevTo = l, NodeID(to)
+		}
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+
+	g.weight = make([]float64, nLabels)
+	total := float64(len(g.edges))
+	for l := range g.weight {
+		if total > 0 {
+			g.weight[l] = 1 - float64(g.labelCount[l])/total
+		}
+	}
+	g.wdeg = make([]float64, nNodes)
+	for v := 0; v < nNodes; v++ {
+		sum := 0.0
+		for _, e := range g.OutEdges(NodeID(v)) {
+			sum += g.weight[e.Label]
+		}
+		g.wdeg[v] = sum
+	}
+	return g, nil
+}

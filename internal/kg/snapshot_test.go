@@ -1,0 +1,190 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+func TestSnapshotRoundTripFigure1(t *testing.T) {
+	g := figure1()
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, got)
+}
+
+func TestSnapshotRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder(0)
+	labels := []string{"actedIn", "hasChild", "livesIn", "spouse"}
+	b.Symmetric("spouse")
+	for i := 0; i < 2000; i++ {
+		from := nodeName(rng.Intn(26)) + nodeName(rng.Intn(26))
+		to := nodeName(rng.Intn(26)) + nodeName(rng.Intn(26))
+		b.AddEdge(from, labels[rng.Intn(len(labels))], to)
+	}
+	b.SetType("aa", "person")
+	b.SetType("bb", "movie")
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, got)
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Fatalf("empty round trip: %s", got.Stats())
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	g := figure1()
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the middle of the payload.
+	data[len(data)/2] ^= 0x55
+	_, err := ReadSnapshot(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupted snapshot read succeeded")
+	}
+}
+
+func TestSnapshotDetectsTruncation(t *testing.T) {
+	g := figure1()
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()/2]
+	_, err := ReadSnapshot(bytes.NewReader(data))
+	if !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotRejectsWrongMagic(t *testing.T) {
+	_, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot at all")))
+	if !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() {
+		t.Fatalf("NumNodes: %d vs %d", got.NumNodes(), want.NumNodes())
+	}
+	if want.NumEdges() != got.NumEdges() {
+		t.Fatalf("NumEdges: %d vs %d", got.NumEdges(), want.NumEdges())
+	}
+	if want.NumLabels() != got.NumLabels() {
+		t.Fatalf("NumLabels: %d vs %d", got.NumLabels(), want.NumLabels())
+	}
+	if want.NumTypes() != got.NumTypes() {
+		t.Fatalf("NumTypes: %d vs %d", got.NumTypes(), want.NumTypes())
+	}
+	for n := 0; n < want.NumNodes(); n++ {
+		id := NodeID(n)
+		if want.NodeName(id) != got.NodeName(id) {
+			t.Fatalf("node %d name: %q vs %q", n, got.NodeName(id), want.NodeName(id))
+		}
+		if want.TypeOf(id) != got.TypeOf(id) {
+			t.Fatalf("node %d type differs", n)
+		}
+		a, b := want.OutEdges(id), got.OutEdges(id)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree: %d vs %d", n, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d edge %d: %v vs %v", n, i, b[i], a[i])
+			}
+		}
+		if want.WeightedOutDegree(id) != got.WeightedOutDegree(id) {
+			t.Fatalf("node %d weighted degree differs", n)
+		}
+	}
+	for l := 0; l < want.NumLabels(); l++ {
+		id := LabelID(l)
+		if want.LabelName(id) != got.LabelName(id) {
+			t.Fatalf("label %d name differs", l)
+		}
+		if want.InverseLabel(id) != got.InverseLabel(id) {
+			t.Fatalf("label %d inverse differs", l)
+		}
+		if want.LabelCount(id) != got.LabelCount(id) {
+			t.Fatalf("label %d count differs", l)
+		}
+		if want.LabelWeight(id) != got.LabelWeight(id) {
+			t.Fatalf("label %d weight differs", l)
+		}
+	}
+}
+
+func BenchmarkSnapshotWrite(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := g.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	g := benchGraph()
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGraph() *Graph {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder(1 << 14)
+	labels := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	for i := 0; i < 1<<14; i++ {
+		from := nodeName(rng.Intn(26)) + nodeName(rng.Intn(26)) + nodeName(rng.Intn(26))
+		to := nodeName(rng.Intn(26)) + nodeName(rng.Intn(26)) + nodeName(rng.Intn(26))
+		b.AddEdge(from, labels[rng.Intn(len(labels))], to)
+	}
+	return b.Build()
+}

@@ -1,0 +1,319 @@
+// Package metapath implements PathMining (Section 3.1): discovering the
+// metapaths that connect a query set to the rest of the graph by random
+// walks, and counting the paths that match a metapath.
+//
+// A metapath here is the sequence of edge labels along a path (the paper
+// defines metapaths with node labels interleaved but its miner records "the
+// sequence of edge labels m encountered during the random walk").
+//
+// Mining: sample a start node uniformly from V \ Q and walk at random —
+// favoring informative (rare) labels like the weighted PageRank does —
+// until a query node is reached or the length budget is exhausted. Each
+// successful walk contributes one occurrence of its label sequence. The
+// mined metapaths therefore point *toward* the query; Reverse turns one
+// into the equivalent query-outward metapath over inverse labels.
+//
+// Counting: CountPaths propagates path counts along the label sequence with
+// one sparse-to-dense frontier per step, giving |{n ⇝m x}| for every x in
+// one pass — the quantity σ of Section 3.1 needs.
+package metapath
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/kg"
+)
+
+// Path is a metapath: a sequence of edge-label IDs.
+type Path []kg.LabelID
+
+// Key returns a compact byte-string key identifying the path, usable as a
+// map key.
+func (p Path) Key() string {
+	buf := make([]byte, 0, len(p)*binary.MaxVarintLen32)
+	var tmp [binary.MaxVarintLen32]byte
+	for _, l := range p {
+		n := binary.PutUvarint(tmp[:], uint64(l))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// Equal reports whether two paths are identical.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path with the graph's label names.
+func (p Path) String(g *kg.Graph) string {
+	s := ""
+	for i, l := range p {
+		if i > 0 {
+			s += "/"
+		}
+		s += g.LabelName(l)
+	}
+	return s
+}
+
+// Reverse returns the inverse metapath: labels inverted and order flipped,
+// so that a path n ⇝p q corresponds one-to-one to a path q ⇝Reverse(p) n.
+func (p Path) Reverse(g *kg.Graph) Path {
+	out := make(Path, len(p))
+	for i, l := range p {
+		out[len(p)-1-i] = g.InverseLabel(l)
+	}
+	return out
+}
+
+// Mined is a metapath with its occurrence count from mining.
+type Mined struct {
+	Path  Path
+	Count int64
+}
+
+// MineOptions configures PathMining. The zero value selects the paper's
+// defaults except for Walks, which must be set (the paper uses 1M).
+type MineOptions struct {
+	// Walks is the number of sampling walks to attempt.
+	Walks int
+	// MaxLength bounds the metapath length in edges. The paper finds 5 a
+	// reasonable choice. Default 5.
+	MaxLength int
+	// Uniform disables informativeness weighting of walk steps.
+	Uniform bool
+	// Seed makes mining deterministic.
+	Seed int64
+	// Parallelism bounds worker goroutines; 0 uses 4.
+	Parallelism int
+}
+
+func (o MineOptions) withDefaults() MineOptions {
+	if o.MaxLength == 0 {
+		o.MaxLength = 5
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// Mine runs PathMining: it samples opt.Walks random walks from uniform
+// start nodes in V \ query and records the label sequence of every walk
+// that reaches a query node within opt.MaxLength steps. Results are merged
+// across workers and sorted by descending count (ties by shorter path, then
+// lexicographic key, so output is deterministic for a fixed seed).
+func Mine(g *kg.Graph, query []kg.NodeID, opt MineOptions) []Mined {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	if n == 0 || len(query) == 0 || opt.Walks <= 0 {
+		return nil
+	}
+	inQuery := make(map[kg.NodeID]bool, len(query))
+	for _, q := range query {
+		inQuery[q] = true
+	}
+	if len(inQuery) >= n {
+		return nil // no start nodes available
+	}
+
+	workers := opt.Parallelism
+	if workers > opt.Walks {
+		workers = opt.Walks
+	}
+	type shard struct {
+		counts map[string]int64
+		paths  map[string]Path
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*0x9e3779b9))
+			sh := shard{
+				counts: make(map[string]int64),
+				paths:  make(map[string]Path),
+			}
+			walks := opt.Walks / workers
+			if w < opt.Walks%workers {
+				walks++
+			}
+			labels := make(Path, 0, opt.MaxLength)
+			for i := 0; i < walks; i++ {
+				labels = labels[:0]
+				if p := walkOnce(g, inQuery, rng, opt, labels); p != nil {
+					k := p.Key()
+					if _, ok := sh.paths[k]; !ok {
+						cp := make(Path, len(p))
+						copy(cp, p)
+						sh.paths[k] = cp
+					}
+					sh.counts[k]++
+				}
+			}
+			shards[w] = sh
+		}(w)
+	}
+	wg.Wait()
+
+	merged := make(map[string]int64)
+	paths := make(map[string]Path)
+	for _, sh := range shards {
+		for k, c := range sh.counts {
+			merged[k] += c
+			if _, ok := paths[k]; !ok {
+				paths[k] = sh.paths[k]
+			}
+		}
+	}
+	out := make([]Mined, 0, len(merged))
+	for k, c := range merged {
+		out = append(out, Mined{Path: paths[k], Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if len(out[i].Path) != len(out[j].Path) {
+			return len(out[i].Path) < len(out[j].Path)
+		}
+		return out[i].Path.Key() < out[j].Path.Key()
+	})
+	return out
+}
+
+// walkOnce performs one mining walk and returns the label sequence if it
+// reached a query node, reusing the labels buffer.
+func walkOnce(g *kg.Graph, inQuery map[kg.NodeID]bool, rng *rand.Rand, opt MineOptions, labels Path) Path {
+	n := g.NumNodes()
+	// Uniform start in V \ Q by rejection; the query is tiny relative to V.
+	var cur kg.NodeID
+	for {
+		cur = kg.NodeID(rng.Intn(n))
+		if !inQuery[cur] {
+			break
+		}
+	}
+	for step := 0; step < opt.MaxLength; step++ {
+		adj := g.OutEdges(cur)
+		if len(adj) == 0 {
+			return nil
+		}
+		var e kg.Edge
+		if opt.Uniform {
+			e = adj[rng.Intn(len(adj))]
+		} else {
+			e = weightedPick(g, cur, adj, rng)
+		}
+		labels = append(labels, e.Label)
+		cur = e.To
+		if inQuery[cur] {
+			return labels
+		}
+	}
+	return nil
+}
+
+// weightedPick samples an out-edge proportionally to its label weight by
+// rejection sampling: pick a uniform edge, accept with probability equal
+// to its weight (weights are in [0, 1) by construction, and close to 1
+// for all but the most frequent labels, so acceptance is near-immediate).
+// This is O(1) expected regardless of node degree — a linear scan would
+// make every walk step through a hub node cost O(degree).
+func weightedPick(g *kg.Graph, from kg.NodeID, adj []kg.Edge, rng *rand.Rand) kg.Edge {
+	if g.WeightedOutDegree(from) <= 0 {
+		return adj[rng.Intn(len(adj))]
+	}
+	for tries := 0; tries < 64; tries++ {
+		e := adj[rng.Intn(len(adj))]
+		if rng.Float64() < g.LabelWeight(e.Label) {
+			return e
+		}
+	}
+	// Pathological weights (all ≈ 0): fall back to uniform.
+	return adj[rng.Intn(len(adj))]
+}
+
+// Top keeps the m highest-count metapaths (the paper's |M| parameter).
+func Top(mined []Mined, m int) []Mined {
+	if m < 0 {
+		m = 0
+	}
+	if len(mined) > m {
+		mined = mined[:m]
+	}
+	return mined
+}
+
+// TotalCount sums the counts of a metapath set; Pr(m) = Count/TotalCount.
+func TotalCount(mined []Mined) int64 {
+	var t int64
+	for _, mp := range mined {
+		t += mp.Count
+	}
+	return t
+}
+
+// CountPaths returns, for every node x, the number of paths start ⇝m x
+// that follow the label sequence m. Counts are float64 because path counts
+// grow multiplicatively with length and degree.
+//
+// The frontier is propagated label by label: one O(Σ deg) sweep per step.
+func CountPaths(g *kg.Graph, start kg.NodeID, m Path) []float64 {
+	n := g.NumNodes()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	curTouched := []kg.NodeID{start}
+	cur[start] = 1
+	for _, label := range m {
+		nextTouched := curTouched[:0:0] // fresh slice, keep cur's intact
+		for _, v := range curTouched {
+			c := cur[v]
+			if c == 0 {
+				continue
+			}
+			for _, e := range g.OutEdgesByLabel(v, label) {
+				if next[e.To] == 0 {
+					nextTouched = append(nextTouched, e.To)
+				}
+				next[e.To] += c
+			}
+		}
+		// Reset cur for reuse and swap.
+		for _, v := range curTouched {
+			cur[v] = 0
+		}
+		cur, next = next, cur
+		curTouched = nextTouched
+		if len(curTouched) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// CountPathsInto is CountPaths with a caller-provided accumulator: counts
+// are added into acc scaled by factor, and the set of touched nodes is
+// returned. This avoids one allocation per (metapath, query node) pair in
+// the ContextRW scoring loop.
+func CountPathsInto(g *kg.Graph, start kg.NodeID, m Path, factor float64, acc []float64) {
+	counts := CountPaths(g, start, m)
+	for i, c := range counts {
+		if c != 0 {
+			acc[i] += factor * c
+		}
+	}
+}

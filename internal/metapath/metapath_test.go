@@ -1,0 +1,307 @@
+package metapath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// diamond builds a 2-hop diamond with two parallel paths a->m1->z, a->m2->z
+// and one decoy a->m1->w.
+func diamond() *kg.Graph {
+	b := kg.NewBuilder(8)
+	b.AddEdge("a", "p", "m1")
+	b.AddEdge("a", "p", "m2")
+	b.AddEdge("m1", "q", "z")
+	b.AddEdge("m2", "q", "z")
+	b.AddEdge("m1", "q", "w")
+	return b.Build()
+}
+
+func labelID(t *testing.T, g *kg.Graph, name string) kg.LabelID {
+	t.Helper()
+	l, ok := g.LabelByName(name)
+	if !ok {
+		t.Fatalf("label %q missing", name)
+	}
+	return l
+}
+
+func nodeID(t *testing.T, g *kg.Graph, name string) kg.NodeID {
+	t.Helper()
+	n, ok := g.NodeByName(name)
+	if !ok {
+		t.Fatalf("node %q missing", name)
+	}
+	return n
+}
+
+func TestCountPathsDiamond(t *testing.T) {
+	g := diamond()
+	m := Path{labelID(t, g, "p"), labelID(t, g, "q")}
+	counts := CountPaths(g, nodeID(t, g, "a"), m)
+	if got := counts[nodeID(t, g, "z")]; got != 2 {
+		t.Fatalf("paths a=>z = %v, want 2", got)
+	}
+	if got := counts[nodeID(t, g, "w")]; got != 1 {
+		t.Fatalf("paths a=>w = %v, want 1", got)
+	}
+	if got := counts[nodeID(t, g, "a")]; got != 0 {
+		t.Fatalf("paths a=>a = %v, want 0", got)
+	}
+}
+
+func TestCountPathsEmptyPath(t *testing.T) {
+	g := diamond()
+	a := nodeID(t, g, "a")
+	counts := CountPaths(g, a, nil)
+	if counts[a] != 1 {
+		t.Fatalf("empty path should count the start itself: %v", counts[a])
+	}
+	for i, c := range counts {
+		if kg.NodeID(i) != a && c != 0 {
+			t.Fatalf("empty path reached node %d", i)
+		}
+	}
+}
+
+func TestCountPathsNoMatch(t *testing.T) {
+	g := diamond()
+	m := Path{labelID(t, g, "q")} // a has no q edge
+	counts := CountPaths(g, nodeID(t, g, "a"), m)
+	for i, c := range counts {
+		if c != 0 {
+			t.Fatalf("unexpected count at node %d: %v", i, c)
+		}
+	}
+}
+
+func TestCountPathsInverseLabels(t *testing.T) {
+	g := diamond()
+	p := labelID(t, g, "p")
+	q := labelID(t, g, "q")
+	forward := Path{p, q}
+	reverse := forward.Reverse(g)
+	// Reverse path from z should reach a exactly twice.
+	counts := CountPaths(g, nodeID(t, g, "z"), reverse)
+	if got := counts[nodeID(t, g, "a")]; got != 2 {
+		t.Fatalf("reverse paths z=>a = %v, want 2", got)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	g := diamond()
+	m := Path{labelID(t, g, "p"), labelID(t, g, "q")}
+	if got := m.Reverse(g).Reverse(g); !got.Equal(m) {
+		t.Fatalf("double reverse = %v, want %v", got, m)
+	}
+}
+
+func TestPathKeyDistinguishes(t *testing.T) {
+	a := Path{1, 2, 3}
+	b := Path{1, 2}
+	c := Path{3, 2, 1}
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatal("distinct paths share a key")
+	}
+	if !a.Equal(Path{1, 2, 3}) {
+		t.Fatal("Equal failed on identical paths")
+	}
+}
+
+func TestCountPathsIntoAccumulates(t *testing.T) {
+	g := diamond()
+	m := Path{labelID(t, g, "p"), labelID(t, g, "q")}
+	acc := make([]float64, g.NumNodes())
+	CountPathsInto(g, nodeID(t, g, "a"), m, 0.5, acc)
+	CountPathsInto(g, nodeID(t, g, "a"), m, 0.5, acc)
+	if got := acc[nodeID(t, g, "z")]; got != 2 {
+		t.Fatalf("accumulated = %v, want 2", got)
+	}
+}
+
+// chainWithBranch: query q reachable from many nodes via labeled chains.
+func chainWithBranch() *kg.Graph {
+	b := kg.NewBuilder(32)
+	// u0..u9 -worksWith-> q ; v0..v9 -knows-> w -worksWith-> q
+	for i := 0; i < 10; i++ {
+		b.AddEdge(uname(i), "worksWith", "q")
+		b.AddEdge(vname(i), "knows", "w")
+	}
+	b.AddEdge("w", "worksWith", "q")
+	return b.Build()
+}
+
+func uname(i int) string { return "u" + string(rune('0'+i)) }
+func vname(i int) string { return "v" + string(rune('0'+i)) }
+
+func TestMineFindsDominantMetapath(t *testing.T) {
+	g := chainWithBranch()
+	q := nodeID(t, g, "q")
+	mined := Mine(g, []kg.NodeID{q}, MineOptions{Walks: 20000, MaxLength: 3, Seed: 1})
+	if len(mined) == 0 {
+		t.Fatal("mining found nothing")
+	}
+	// The single-hop worksWith path must be among the top metapaths.
+	worksWith := labelID(t, g, "worksWith")
+	found := false
+	for _, mp := range mined[:min(3, len(mined))] {
+		if mp.Path.Equal(Path{worksWith}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("worksWith not in top metapaths: %+v", mined)
+	}
+	// Counts must be positive and sorted descending.
+	for i, mp := range mined {
+		if mp.Count <= 0 {
+			t.Fatalf("metapath %d has count %d", i, mp.Count)
+		}
+		if i > 0 && mp.Count > mined[i-1].Count {
+			t.Fatal("mined not sorted by count")
+		}
+		if len(mp.Path) > 3 {
+			t.Fatalf("metapath longer than MaxLength: %v", mp.Path)
+		}
+	}
+}
+
+func TestMineDeterministicForSeed(t *testing.T) {
+	g := chainWithBranch()
+	q := nodeID(t, g, "q")
+	opt := MineOptions{Walks: 5000, MaxLength: 3, Seed: 42, Parallelism: 3}
+	a := Mine(g, []kg.NodeID{q}, opt)
+	b := Mine(g, []kg.NodeID{q}, opt)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Path.Equal(b[i].Path) || a[i].Count != b[i].Count {
+			t.Fatalf("runs differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMineRespectsWalkBudget(t *testing.T) {
+	g := chainWithBranch()
+	q := nodeID(t, g, "q")
+	mined := Mine(g, []kg.NodeID{q}, MineOptions{Walks: 100, MaxLength: 3, Seed: 7})
+	if got := TotalCount(mined); got > 100 {
+		t.Fatalf("total count %d exceeds walk budget", got)
+	}
+}
+
+func TestMineEdgeCases(t *testing.T) {
+	g := chainWithBranch()
+	q := nodeID(t, g, "q")
+	if got := Mine(g, nil, MineOptions{Walks: 10}); got != nil {
+		t.Fatal("empty query should mine nothing")
+	}
+	if got := Mine(g, []kg.NodeID{q}, MineOptions{Walks: 0}); got != nil {
+		t.Fatal("zero walks should mine nothing")
+	}
+	empty := kg.NewBuilder(0).Build()
+	if got := Mine(empty, []kg.NodeID{}, MineOptions{Walks: 10}); got != nil {
+		t.Fatal("empty graph should mine nothing")
+	}
+	// Graph where the query is every node: no start nodes available.
+	b := kg.NewBuilder(1)
+	b.AddEdge("only", "p", "only")
+	g2 := b.Build()
+	only, _ := g2.NodeByName("only")
+	if got := Mine(g2, []kg.NodeID{only}, MineOptions{Walks: 10}); got != nil {
+		t.Fatal("all-query graph should mine nothing")
+	}
+}
+
+func TestTop(t *testing.T) {
+	mined := []Mined{{Count: 5}, {Count: 3}, {Count: 1}}
+	if got := Top(mined, 2); len(got) != 2 || got[0].Count != 5 {
+		t.Fatalf("Top(2) = %+v", got)
+	}
+	if got := Top(mined, 10); len(got) != 3 {
+		t.Fatalf("Top(10) = %+v", got)
+	}
+	if got := Top(mined, -1); len(got) != 0 {
+		t.Fatalf("Top(-1) = %+v", got)
+	}
+}
+
+// Cross-check CountPaths against brute-force DFS enumeration on random
+// graphs.
+func TestCountPathsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		b := kg.NewBuilder(0)
+		nNodes := 4 + rng.Intn(8)
+		labels := []string{"p", "q"}
+		for i := 0; i < 25; i++ {
+			b.AddEdge(nname(rng.Intn(nNodes)), labels[rng.Intn(2)], nname(rng.Intn(nNodes)))
+		}
+		g := b.Build()
+		pathLen := 1 + rng.Intn(3)
+		m := make(Path, pathLen)
+		for i := range m {
+			m[i] = kg.LabelID(rng.Intn(g.NumLabels()))
+		}
+		start := kg.NodeID(rng.Intn(g.NumNodes()))
+
+		got := CountPaths(g, start, m)
+		want := make([]float64, g.NumNodes())
+		var dfs func(node kg.NodeID, depth int)
+		dfs = func(node kg.NodeID, depth int) {
+			if depth == len(m) {
+				want[node]++
+				return
+			}
+			for _, e := range g.OutEdgesByLabel(node, m[depth]) {
+				dfs(e.To, depth+1)
+			}
+		}
+		dfs(start, 0)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d node %d: got %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func nname(i int) string { return string(rune('a' + i)) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkMine(b *testing.B) {
+	g := chainWithBranch()
+	q, _ := g.NodeByName("q")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mine(g, []kg.NodeID{q}, MineOptions{Walks: 10000, MaxLength: 5, Seed: int64(i)})
+	}
+}
+
+func BenchmarkCountPaths(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	bld := kg.NewBuilder(1 << 14)
+	for i := 0; i < 1<<14; i++ {
+		bld.AddEdge(nname3(rng.Intn(2000)), "p"+string(rune('0'+rng.Intn(4))), nname3(rng.Intn(2000)))
+	}
+	g := bld.Build()
+	m := Path{0, 1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountPaths(g, kg.NodeID(i%2000), m)
+	}
+}
+
+func nname3(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}

@@ -1,0 +1,252 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kg"
+)
+
+// chain builds a -p-> b -p-> c -p-> d (plus automatic inverses).
+func chain() *kg.Graph {
+	b := kg.NewBuilder(4)
+	b.AddEdge("a", "p", "b")
+	b.AddEdge("b", "p", "c")
+	b.AddEdge("c", "p", "d")
+	return b.Build()
+}
+
+// star builds hub -p-> leaf0..leaf4.
+func star() *kg.Graph {
+	b := kg.NewBuilder(8)
+	for _, leaf := range []string{"l0", "l1", "l2", "l3", "l4"} {
+		b.AddEdge("hub", "p", leaf)
+	}
+	return b.Build()
+}
+
+func TestMassConservation(t *testing.T) {
+	g := chain()
+	a, _ := g.NodeByName("a")
+	p := Personalized(g, []kg.NodeID{a}, Options{})
+	sum := 0.0
+	for _, s := range p {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mass = %v, want 1", sum)
+	}
+}
+
+func TestSeedHasHighestScoreWithStrongRestart(t *testing.T) {
+	g := chain()
+	a, _ := g.NodeByName("a")
+	p := Personalized(g, []kg.NodeID{a}, Options{Damping: 0.2})
+	for i, s := range p {
+		if kg.NodeID(i) != a && s >= p[a] {
+			t.Fatalf("node %d score %v >= seed score %v", i, s, p[a])
+		}
+	}
+}
+
+func TestProximityOrdering(t *testing.T) {
+	g := chain()
+	a, _ := g.NodeByName("a")
+	bn, _ := g.NodeByName("b")
+	d, _ := g.NodeByName("d")
+	p := Personalized(g, []kg.NodeID{a}, Options{})
+	if p[bn] <= p[d] {
+		t.Fatalf("nearer node b (%v) should outrank far node d (%v)", p[bn], p[d])
+	}
+}
+
+func TestEmptySeedsAndEmptyGraph(t *testing.T) {
+	g := chain()
+	if p := Personalized(g, nil, Options{}); len(p) != g.NumNodes() {
+		t.Fatal("empty seeds should return zero vector of graph size")
+	}
+	empty := kg.NewBuilder(0).Build()
+	if p := Personalized(empty, nil, Options{}); len(p) != 0 {
+		t.Fatal("empty graph should return empty vector")
+	}
+}
+
+func TestIsolatedSeedKeepsMass(t *testing.T) {
+	b := kg.NewBuilder(2)
+	b.Node("loner")
+	b.AddEdge("a", "p", "b")
+	g := b.Build()
+	loner, _ := g.NodeByName("loner")
+	p := Personalized(g, []kg.NodeID{loner}, Options{})
+	sum := 0.0
+	for _, s := range p {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("dangling mass lost: sum = %v", sum)
+	}
+	if math.Abs(p[loner]-1) > 1e-9 {
+		t.Fatalf("isolated seed score = %v, want 1", p[loner])
+	}
+}
+
+func TestStarDistributesEvenlyUnderUniform(t *testing.T) {
+	g := star()
+	hub, _ := g.NodeByName("hub")
+	p := Personalized(g, []kg.NodeID{hub}, Options{Uniform: true})
+	l0, _ := g.NodeByName("l0")
+	for _, name := range []string{"l1", "l2", "l3", "l4"} {
+		n, _ := g.NodeByName(name)
+		if math.Abs(p[n]-p[l0]) > 1e-12 {
+			t.Fatalf("leaf %s score %v != leaf l0 score %v", name, p[n], p[l0])
+		}
+	}
+}
+
+func TestWeightingPrefersRareLabel(t *testing.T) {
+	// hub has many "common" edges and one "rare" edge; the rare label is
+	// more informative so its target should score higher.
+	b := kg.NewBuilder(16)
+	for i := 0; i < 9; i++ {
+		b.AddEdge("hub", "common", nodeName(i))
+	}
+	b.AddEdge("hub", "rare", "special")
+	g := b.Build()
+	hub, _ := g.NodeByName("hub")
+	special, _ := g.NodeByName("special")
+	ordinary, _ := g.NodeByName(nodeName(0))
+	p := Personalized(g, []kg.NodeID{hub}, Options{})
+	if p[special] <= p[ordinary] {
+		t.Fatalf("rare-label target %v should outrank common-label target %v",
+			p[special], p[ordinary])
+	}
+	// Under uniform walking they should tie instead.
+	pu := Personalized(g, []kg.NodeID{hub}, Options{Uniform: true})
+	if math.Abs(pu[special]-pu[ordinary]) > 1e-12 {
+		t.Fatalf("uniform walk should not prefer rare label: %v vs %v",
+			pu[special], pu[ordinary])
+	}
+}
+
+func TestPersonalizedSumMatchesSequential(t *testing.T) {
+	g := randomGraph(500, 2000, 77)
+	seeds := []kg.NodeID{1, 5, 9, 13}
+	sum := PersonalizedSum(g, seeds, Options{})
+	want := make([]float64, g.NumNodes())
+	for _, s := range seeds {
+		p := Personalized(g, []kg.NodeID{s}, Options{})
+		for i, sc := range p {
+			want[i] += sc
+		}
+	}
+	for i := range want {
+		if math.Abs(sum[i]-want[i]) > 1e-12 {
+			t.Fatalf("node %d: parallel %v vs sequential %v", i, sum[i], want[i])
+		}
+	}
+}
+
+func TestPersonalizedSumParallelismBound(t *testing.T) {
+	g := randomGraph(100, 300, 3)
+	seeds := []kg.NodeID{0, 1, 2, 3, 4, 5}
+	a := PersonalizedSum(g, seeds, Options{Parallelism: 1})
+	b := PersonalizedSum(g, seeds, Options{Parallelism: 2})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("parallelism changed results at node %d", i)
+		}
+	}
+}
+
+func TestTopKExcludesSeeds(t *testing.T) {
+	g := chain()
+	a, _ := g.NodeByName("a")
+	items := TopK(g, []kg.NodeID{a}, 10, Options{})
+	for _, it := range items {
+		if kg.NodeID(it.ID) == a {
+			t.Fatal("TopK returned a seed node")
+		}
+	}
+	if len(items) == 0 {
+		t.Fatal("TopK returned nothing")
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Score > items[i-1].Score {
+			t.Fatal("TopK not sorted by descending score")
+		}
+	}
+}
+
+// Property: PageRank mass is conserved (sums to ~1) on arbitrary graphs.
+func TestMassConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(3+rng.Intn(60), 1+rng.Intn(200), seed)
+		s := kg.NodeID(rng.Intn(g.NumNodes()))
+		p := Personalized(g, []kg.NodeID{s}, Options{})
+		sum := 0.0
+		for _, sc := range p {
+			sum += sc
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scores are non-negative.
+func TestNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(3+rng.Intn(40), 1+rng.Intn(100), seed+1)
+		s := kg.NodeID(rng.Intn(g.NumNodes()))
+		for _, sc := range Personalized(g, []kg.NodeID{s}, Options{}) {
+			if sc < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomGraph(nodes, edges int, seed int64) *kg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := kg.NewBuilder(edges)
+	labels := []string{"p", "q", "r", "s"}
+	for i := 0; i < nodes; i++ {
+		b.Node(nodeNameN(i))
+	}
+	for i := 0; i < edges; i++ {
+		b.AddEdge(nodeNameN(rng.Intn(nodes)), labels[rng.Intn(len(labels))], nodeNameN(rng.Intn(nodes)))
+	}
+	return b.Build()
+}
+
+func nodeName(i int) string { return string(rune('a' + i)) }
+
+func nodeNameN(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+func BenchmarkPersonalized(b *testing.B) {
+	g := randomGraph(5000, 40000, 123)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Personalized(g, []kg.NodeID{kg.NodeID(i % 5000)}, Options{})
+	}
+}
+
+func BenchmarkPersonalizedSum5Seeds(b *testing.B) {
+	g := randomGraph(5000, 40000, 123)
+	seeds := []kg.NodeID{1, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PersonalizedSum(g, seeds, Options{})
+	}
+}

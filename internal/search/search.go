@@ -1,0 +1,123 @@
+// Package search resolves free-text entity mentions to graph nodes.
+//
+// The paper assumes query nodes are given, noting that "there exists a
+// number of techniques that correctly map keywords to nodes in any
+// knowledge graph" [12, 24]. This package is that substrate for the CLI: a
+// token-level inverted index over node names with TF-style scoring, exact
+// and case-insensitive matching, and deterministic ranking.
+package search
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/kg"
+)
+
+// Index is an inverted index over node names. Build once, query many
+// times; safe for concurrent readers.
+type Index struct {
+	g       *kg.Graph
+	byToken map[string][]kg.NodeID
+	exact   map[string]kg.NodeID
+}
+
+// Hit is a scored match.
+type Hit struct {
+	Node  kg.NodeID
+	Name  string
+	Score float64
+}
+
+// Tokenize lowercases and splits a name into alphanumeric tokens.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	})
+}
+
+// NewIndex indexes every node name of g.
+func NewIndex(g *kg.Graph) *Index {
+	idx := &Index{
+		g:       g,
+		byToken: make(map[string][]kg.NodeID),
+		exact:   make(map[string]kg.NodeID, g.NumNodes()),
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := kg.NodeID(n)
+		name := g.NodeName(id)
+		idx.exact[strings.ToLower(name)] = id
+		seen := map[string]bool{}
+		for _, tok := range Tokenize(name) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			idx.byToken[tok] = append(idx.byToken[tok], id)
+		}
+	}
+	return idx
+}
+
+// Lookup finds the best matches for a free-text mention. An exact
+// (case-insensitive) name match always ranks first with score 1; otherwise
+// candidates are scored by the fraction of query tokens they contain,
+// discounted by how many extra tokens the candidate name has. Ties break
+// by name for determinism. Returns up to limit hits.
+func (idx *Index) Lookup(mention string, limit int) []Hit {
+	if limit <= 0 {
+		return nil
+	}
+	var hits []Hit
+	lower := strings.ToLower(strings.TrimSpace(mention))
+	if id, ok := idx.exact[lower]; ok {
+		hits = append(hits, Hit{Node: id, Name: idx.g.NodeName(id), Score: 1})
+	}
+	tokens := Tokenize(mention)
+	if len(tokens) > 0 {
+		matched := make(map[kg.NodeID]int)
+		for _, tok := range tokens {
+			for _, id := range idx.byToken[tok] {
+				matched[id]++
+			}
+		}
+		for id, n := range matched {
+			if len(hits) > 0 && hits[0].Node == id {
+				continue // already present as the exact match
+			}
+			nameTokens := len(Tokenize(idx.g.NodeName(id)))
+			coverage := float64(n) / float64(len(tokens))
+			brevity := float64(n) / float64(nameTokens)
+			hits = append(hits, Hit{
+				Node:  id,
+				Name:  idx.g.NodeName(id),
+				Score: 0.9 * coverage * (0.5 + 0.5*brevity),
+			})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Name < hits[j].Name
+	})
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// Resolve maps a list of mentions to node IDs, taking the top hit of each.
+// Unresolvable mentions are reported in missing.
+func (idx *Index) Resolve(mentions []string) (ids []kg.NodeID, missing []string) {
+	for _, m := range mentions {
+		hits := idx.Lookup(m, 1)
+		if len(hits) == 0 {
+			missing = append(missing, m)
+			continue
+		}
+		ids = append(ids, hits[0].Node)
+	}
+	return ids, missing
+}

@@ -1,0 +1,124 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/kg"
+)
+
+func testGraph() *kg.Graph {
+	b := kg.NewBuilder(16)
+	for _, n := range []string{
+		"Angela Merkel", "Barack Obama", "Brad Pitt", "Michelle Obama",
+		"Obama Foundation", "Pittsburgh",
+	} {
+		b.Node(n)
+	}
+	b.AddEdge("Angela Merkel", "knows", "Barack Obama")
+	return b.Build()
+}
+
+func TestExactMatchWinsWithScoreOne(t *testing.T) {
+	idx := NewIndex(testGraph())
+	hits := idx.Lookup("angela merkel", 5)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Name != "Angela Merkel" || hits[0].Score != 1 {
+		t.Fatalf("top hit = %+v", hits[0])
+	}
+}
+
+func TestTokenMatch(t *testing.T) {
+	idx := NewIndex(testGraph())
+	hits := idx.Lookup("obama", 5)
+	if len(hits) < 2 {
+		t.Fatalf("expected multiple obama hits, got %v", hits)
+	}
+	names := map[string]bool{}
+	for _, h := range hits {
+		names[h.Name] = true
+	}
+	if !names["Barack Obama"] || !names["Michelle Obama"] {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Two-token names outrank the three-token foundation on brevity.
+	if hits[0].Name == "Obama Foundation" {
+		t.Fatalf("brevity discount failed: %v", hits)
+	}
+}
+
+func TestMultiTokenCoverage(t *testing.T) {
+	idx := NewIndex(testGraph())
+	hits := idx.Lookup("barack obama", 3)
+	if len(hits) == 0 || hits[0].Name != "Barack Obama" {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	idx := NewIndex(testGraph())
+	if hits := idx.Lookup("zzz unknown", 5); len(hits) != 0 {
+		t.Fatalf("unexpected hits: %v", hits)
+	}
+	if hits := idx.Lookup("", 5); len(hits) != 0 {
+		t.Fatalf("empty mention hits: %v", hits)
+	}
+	if hits := idx.Lookup("obama", 0); hits != nil {
+		t.Fatal("limit 0 should return nil")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	idx := NewIndex(testGraph())
+	if hits := idx.Lookup("obama", 1); len(hits) != 1 {
+		t.Fatalf("limit ignored: %v", hits)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	g := testGraph()
+	idx := NewIndex(g)
+	ids, missing := idx.Resolve([]string{"Angela Merkel", "brad pitt", "nobody here"})
+	if len(ids) != 2 {
+		t.Fatalf("resolved %d ids", len(ids))
+	}
+	if len(missing) != 1 || missing[0] != "nobody here" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if g.NodeName(ids[1]) != "Brad Pitt" {
+		t.Fatalf("second id = %s", g.NodeName(ids[1]))
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Jean-Claude Van Damme (actor)")
+	want := []string{"jean", "claude", "van", "damme", "actor"}
+	if len(toks) != len(want) {
+		t.Fatalf("Tokenize = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	idx := NewIndex(testGraph())
+	a := idx.Lookup("obama", 5)
+	b := idx.Lookup("obama", 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("lookup not deterministic")
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	idx := NewIndex(testGraph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup("barack obama", 5)
+	}
+}

@@ -1,0 +1,8 @@
+package snapshot
+
+import "math"
+
+// Thin indirection over math so the encoding core stays free of direct
+// float bit fiddling.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,278 @@
+// Package snapshot implements a small binary file-format toolkit used to
+// persist graphs and stores: a magic/version header, varint-encoded
+// primitives, length-prefixed strings, and a CRC32 integrity trailer.
+//
+// Layout of a snapshot stream:
+//
+//	[magic bytes][uint32 LE version] [payload ...] [uint32 LE CRC32(payload)]
+//
+// The CRC covers only the payload (not the header), using the IEEE
+// polynomial. Writers buffer internally; call Close to flush the trailer.
+// Readers verify the trailer on Close, so a torn or corrupted file is
+// always detected before its contents are trusted.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCorrupt is wrapped by errors reported for malformed snapshots.
+var ErrCorrupt = errors.New("snapshot: corrupt")
+
+// Writer emits a snapshot stream. Errors are sticky: after the first
+// failure every method is a no-op and Close reports the error.
+type Writer struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header (magic + version) and returns a Writer for
+// the payload.
+func NewWriter(w io.Writer, magic string, version uint32) *Writer {
+	bw := bufio.NewWriter(w)
+	sw := &Writer{w: bw, crc: crc32.NewIEEE()}
+	if _, err := bw.WriteString(magic); err != nil {
+		sw.err = err
+		return sw
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], version)
+	if _, err := bw.Write(v[:]); err != nil {
+		sw.err = err
+	}
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.crc.Write(p)
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Varint writes a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Uint32 writes a fixed-width little-endian uint32.
+func (w *Writer) Uint32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.write(b[:])
+}
+
+// Float64 writes a fixed-width little-endian IEEE-754 double.
+func (w *Writer) Float64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], mathFloat64bits(v))
+	w.write(b[:])
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	if w.err == nil {
+		if _, err := w.w.WriteString(s); err != nil {
+			w.err = err
+			return
+		}
+		w.crc.Write([]byte(s))
+	}
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.write(p)
+}
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close writes the CRC trailer and flushes. The Writer must not be used
+// afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w.crc.Sum32())
+	if _, err := w.w.Write(b[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader consumes a snapshot stream. Errors are sticky.
+type Reader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+	err error
+}
+
+// NewReader validates the header (magic + version) and returns a Reader
+// positioned at the payload.
+func NewReader(r io.Reader, magic string, version uint32) (*Reader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("%w: magic %q, want %q", ErrCorrupt, got, magic)
+	}
+	var v [4]byte
+	if _, err := io.ReadFull(br, v[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(v[:]); got != version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, got, version)
+	}
+	return &Reader{r: br, crc: crc32.NewIEEE()}, nil
+}
+
+// readByte reads one payload byte, feeding the CRC.
+func (r *Reader) readByte() (byte, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	b, err := r.r.ReadByte()
+	if err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return 0, r.err
+	}
+	r.crc.Write([]byte{b})
+	return b, nil
+}
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return
+	}
+	r.crc.Write(p)
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	v, err := binary.ReadUvarint(byteReaderFunc(r.readByte))
+	if err != nil && r.err == nil {
+		r.err = fmt.Errorf("%w: uvarint: %v", ErrCorrupt, err)
+	}
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	v, err := binary.ReadVarint(byteReaderFunc(r.readByte))
+	if err != nil && r.err == nil {
+		r.err = fmt.Errorf("%w: varint: %v", ErrCorrupt, err)
+	}
+	return v
+}
+
+// Uint32 reads a fixed-width uint32.
+func (r *Reader) Uint32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Float64 reads a fixed-width IEEE-754 double.
+func (r *Reader) Float64() float64 {
+	var b [8]byte
+	r.read(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return mathFloat64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// String reads a length-prefixed string. Lengths above maxLen (1 GiB) are
+// rejected as corruption.
+func (r *Reader) String() string {
+	const maxLen = 1 << 30
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		r.err = fmt.Errorf("%w: string length %d too large", ErrCorrupt, n)
+		return ""
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err != nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	const maxLen = 1 << 30
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		r.err = fmt.Errorf("%w: bytes length %d too large", ErrCorrupt, n)
+		return nil
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
+}
+
+// Err returns the sticky error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Close reads the CRC trailer and verifies it against the consumed payload.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc.Sum32() // must capture before reading trailer
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return fmt.Errorf("%w: reading trailer: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(b[:]); got != want {
+		return fmt.Errorf("%w: checksum mismatch: file %08x, computed %08x", ErrCorrupt, got, want)
+	}
+	return nil
+}
+
+// byteReaderFunc adapts a function to io.ByteReader.
+type byteReaderFunc func() (byte, error)
+
+func (f byteReaderFunc) ReadByte() (byte, error) { return f() }

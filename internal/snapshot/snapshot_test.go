@@ -1,0 +1,220 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	testMagic   = "TESTSNAP"
+	testVersion = 1
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Varint(-12345)
+	w.Uint32(0xdeadbeef)
+	w.Float64(math.Pi)
+	w.String("hello, 世界")
+	w.Bytes([]byte{1, 2, 3})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf, testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Fatalf("Uint32 = %x", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Fatalf("Float64 = %v", got)
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.Uvarint(7)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(&buf, "WRONGMAG", testVersion)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(&buf, testMagic, testVersion+1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.String("some payload content here")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(testMagic)+4+3] ^= 0xff // flip a payload byte
+
+	r, err := NewReader(bytes.NewReader(data), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.String()
+	err = r.Close()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Close err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedFileDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.String("truncate me please, a reasonably long payload")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-6] // drop part of payload + trailer
+
+	r, err := NewReader(bytes.NewReader(data), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.String()
+	if r.Err() == nil {
+		// Truncation may land inside the trailer instead.
+		if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Close err = %v, want ErrCorrupt", err)
+		}
+		return
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestOversizedStringRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.Uvarint(1 << 40) // absurd length prefix
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf, testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.String()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestStickyReadError(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(append([]byte(testMagic), 1, 0, 0, 0)), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Uvarint() // payload empty -> error
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error on empty payload")
+	}
+	_ = r.Uint32()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+// Property: varint round trips for arbitrary values, including sequences.
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(us []uint64, is []int64, fs []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, testMagic, testVersion)
+		for _, u := range us {
+			w.Uvarint(u)
+		}
+		for _, i := range is {
+			w.Varint(i)
+		}
+		for _, fv := range fs {
+			w.Float64(fv)
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(&buf, testMagic, testVersion)
+		if err != nil {
+			return false
+		}
+		for _, u := range us {
+			if r.Uvarint() != u {
+				return false
+			}
+		}
+		for _, i := range is {
+			if r.Varint() != i {
+				return false
+			}
+		}
+		for _, fv := range fs {
+			got := r.Float64()
+			if got != fv && !(math.IsNaN(got) && math.IsNaN(fv)) {
+				return false
+			}
+		}
+		return r.Close() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteUvarints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, testMagic, testVersion)
+		for v := uint64(0); v < 10000; v++ {
+			w.Uvarint(v * v)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

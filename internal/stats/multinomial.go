@@ -1,0 +1,296 @@
+// Package stats implements the statistical machinery of Section 3.2: the
+// exact multinomial goodness-of-fit test (with Monte-Carlo approximation
+// for large samples), the divergence baselines the paper compares against
+// (Kullback–Leibler, Earth Mover's Distance, χ², z-test), and the rank
+// distance used in the metrics comparison of Section 4.2.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DefaultAlpha is the paper's significance level: a characteristic is
+// notable when the test rejects equality with p ≤ 0.05.
+const DefaultAlpha = 0.05
+
+// Multinomial runs the exact multinomial test of Section 3.2.
+//
+// Given a multinomial distribution π (the normalized context distribution)
+// and an observation x (the query counts, N = Σx), the significance
+// probability is
+//
+//	Pr_s(X = x) = Σ_{y : Pr(y) ≤ Pr(x)} Pr(y)
+//
+// over all outcomes y with the same total N — the probability of drawing
+// an outcome at most as likely as x. Small problems are enumerated
+// exactly; larger ones fall back to Monte-Carlo sampling (as the paper's
+// footnote prescribes).
+type Multinomial struct {
+	// Alpha is the rejection threshold. Default DefaultAlpha.
+	Alpha float64
+	// ExactLimit bounds the number of outcome compositions enumerated
+	// exactly; beyond it Monte-Carlo is used. Default 200000.
+	ExactLimit int
+	// Samples is the Monte-Carlo sample count. Default 20000.
+	Samples int
+	// Seed makes Monte-Carlo runs deterministic.
+	Seed int64
+}
+
+// Result reports a multinomial test outcome.
+type Result struct {
+	// P is the significance probability Pr_s.
+	P float64
+	// Exact reports whether exact enumeration (vs Monte-Carlo) was used.
+	Exact bool
+	// LogProbX is ln Pr(X = x) under π, -Inf when x is impossible.
+	LogProbX float64
+}
+
+func (m Multinomial) withDefaults() Multinomial {
+	if m.Alpha == 0 {
+		m.Alpha = DefaultAlpha
+	}
+	if m.ExactLimit == 0 {
+		m.ExactLimit = 200000
+	}
+	if m.Samples == 0 {
+		m.Samples = 20000
+	}
+	return m
+}
+
+// logProbTolerance treats outcomes whose log-probabilities differ by less
+// than this as equally likely, protecting the ≤ comparison from float
+// rounding.
+const logProbTolerance = 1e-9
+
+// Test computes the significance probability of observation x under π.
+// π must be non-negative; it is normalized internally. x must be
+// non-negative with at least one positive entry; otherwise P = 1 (nothing
+// observed, nothing to reject).
+func (m Multinomial) Test(pi []float64, x []int) Result {
+	m = m.withDefaults()
+	n := 0
+	for _, xi := range x {
+		n += xi
+	}
+	if n == 0 || len(pi) == 0 {
+		return Result{P: 1, Exact: true, LogProbX: 0}
+	}
+	p := normalizeProbs(pi, len(x))
+
+	logX := logMultinomialProb(p, x, n)
+	if math.IsInf(logX, -1) {
+		// x contains a category the context deems impossible: no outcome
+		// can be ≤ its probability except other impossible ones, which are
+		// never drawn. Pr_s = 0 — maximal notability.
+		return Result{P: 0, Exact: true, LogProbX: logX}
+	}
+
+	if comps, ok := compositionsUpTo(n, len(x), m.ExactLimit); ok && comps <= m.ExactLimit {
+		return Result{P: m.exact(p, logX, n, len(x)), Exact: true, LogProbX: logX}
+	}
+	return Result{P: m.monteCarlo(p, logX, n), Exact: false, LogProbX: logX}
+}
+
+// Score is the MT score of the paper: 1 − Pr_s when the test rejects at
+// Alpha, and 0 otherwise (the characteristic is not notable).
+func (m Multinomial) Score(pi []float64, x []int) float64 {
+	m = m.withDefaults()
+	r := m.Test(pi, x)
+	if r.P <= m.Alpha {
+		return 1 - r.P
+	}
+	return 0
+}
+
+// exact enumerates every composition of n into k parts, accumulating the
+// probability of outcomes at most as likely as logX.
+func (m Multinomial) exact(p []float64, logX float64, n, k int) float64 {
+	logN := lgammaInt(n + 1)
+	total := 0.0
+	comp := make([]int, k)
+	var rec func(cat, remaining int, logAcc float64)
+	rec = func(cat, remaining int, logAcc float64) {
+		if cat == k-1 {
+			comp[cat] = remaining
+			lp := logAcc + termLog(p[cat], remaining)
+			if math.IsInf(lp, -1) {
+				return
+			}
+			lp += logN
+			if lp <= logX+logProbTolerance {
+				total += math.Exp(lp)
+			}
+			return
+		}
+		for c := 0; c <= remaining; c++ {
+			comp[cat] = c
+			lt := termLog(p[cat], c)
+			if math.IsInf(lt, -1) {
+				continue // impossible category count; all deeper outcomes have prob 0
+			}
+			rec(cat+1, remaining-c, logAcc+lt)
+		}
+	}
+	rec(0, n, 0)
+	if total > 1 {
+		total = 1 // guard against accumulation drift
+	}
+	return total
+}
+
+// monteCarlo estimates Pr_s by sampling outcomes from Mult(n, p). The
+// standard +1 correction keeps the estimate strictly positive, matching
+// the convention that a Monte-Carlo p-value never claims impossibility.
+func (m Multinomial) monteCarlo(p []float64, logX float64, n int) float64 {
+	rng := rand.New(rand.NewSource(m.Seed))
+	cdf := make([]float64, len(p))
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		cdf[i] = acc
+	}
+	hits := 0
+	counts := make([]int, len(p))
+	for s := 0; s < m.Samples; s++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			counts[searchCDF(cdf, rng.Float64()*acc)]++
+		}
+		if logMultinomialProb(p, counts, n) <= logX+logProbTolerance {
+			hits++
+		}
+	}
+	return float64(hits+1) / float64(m.Samples+1)
+}
+
+// searchCDF returns the first index whose cumulative value exceeds u.
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// logMultinomialProb returns ln Pr(X = x) for X ~ Mult(n, p).
+func logMultinomialProb(p []float64, x []int, n int) float64 {
+	lp := lgammaInt(n + 1)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		t := termLog(pIndex(p, i), xi)
+		if math.IsInf(t, -1) {
+			return math.Inf(-1)
+		}
+		lp += t
+	}
+	return lp
+}
+
+// termLog returns ln(p^c / c!) with the 0^0 = 1 convention.
+func termLog(p float64, c int) float64 {
+	if c == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return float64(c)*math.Log(p) - lgammaInt(c+1)
+}
+
+func pIndex(p []float64, i int) float64 {
+	if i >= len(p) {
+		return 0
+	}
+	return p[i]
+}
+
+// lgammaInt is ln(Γ(n)) for positive integer n, i.e. ln((n-1)!).
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// normalizeProbs rescales pi to sum to 1 and pads/truncates to length k.
+func normalizeProbs(pi []float64, k int) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := 0; i < k && i < len(pi); i++ {
+		if pi[i] > 0 {
+			out[i] = pi[i]
+			sum += pi[i]
+		}
+	}
+	if sum <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Normalize converts a count vector into a probability vector. An all-zero
+// input yields an all-zero output.
+func Normalize(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	sum := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			sum += c
+		}
+	}
+	if sum <= 0 {
+		return out
+	}
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = c / sum
+		}
+	}
+	return out
+}
+
+// NormalizeInts is Normalize for integer counts.
+func NormalizeInts(counts []int) []float64 {
+	f := make([]float64, len(counts))
+	for i, c := range counts {
+		f[i] = float64(c)
+	}
+	return Normalize(f)
+}
+
+// compositionsUpTo returns C(n+k-1, k-1) — the number of ways to split n
+// observations over k categories — capped at limit. ok is false when the
+// value overflows the cap during computation (treated as "too many").
+func compositionsUpTo(n, k, limit int) (int, bool) {
+	// Multiplicative binomial evaluation with early exit.
+	if k <= 1 {
+		return 1, true
+	}
+	r := k - 1
+	nn := n + k - 1
+	if r > nn-r {
+		r = nn - r
+	}
+	res := 1.0
+	for i := 1; i <= r; i++ {
+		res = res * float64(nn-r+i) / float64(i)
+		if res > float64(limit)*2 {
+			return limit + 1, true
+		}
+	}
+	return int(res + 0.5), true
+}

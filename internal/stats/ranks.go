@@ -1,0 +1,84 @@
+package stats
+
+import "sort"
+
+// RankSwitchDistance returns the minimum number of adjacent transpositions
+// (switches) needed to transform ranking a into ranking b — the metric of
+// the Section 4.2 comparison against expert rankings. This equals the
+// number of inversions of b's items when written in a's order (Kendall tau
+// distance), computed in O(n log n) by merge counting.
+//
+// Both rankings must contain the same items; items present in only one
+// ranking are ignored.
+func RankSwitchDistance(a, b []string) int {
+	posB := make(map[string]int, len(b))
+	for i, s := range b {
+		posB[s] = i
+	}
+	seq := make([]int, 0, len(a))
+	for _, s := range a {
+		if p, ok := posB[s]; ok {
+			seq = append(seq, p)
+		}
+	}
+	return countInversions(seq)
+}
+
+// countInversions counts pairs (i, j) with i < j and seq[i] > seq[j].
+func countInversions(seq []int) int {
+	n := len(seq)
+	if n < 2 {
+		return 0
+	}
+	buf := make([]int, n)
+	work := make([]int, n)
+	copy(work, seq)
+	return mergeCount(work, buf, 0, n)
+}
+
+func mergeCount(v, buf []int, lo, hi int) int {
+	if hi-lo < 2 {
+		return 0
+	}
+	mid := (lo + hi) / 2
+	inv := mergeCount(v, buf, lo, mid) + mergeCount(v, buf, mid, hi)
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if v[i] <= v[j] {
+			buf[k] = v[i]
+			i++
+		} else {
+			buf[k] = v[j]
+			inv += mid - i
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = v[i]
+		i, k = i+1, k+1
+	}
+	for j < hi {
+		buf[k] = v[j]
+		j, k = j+1, k+1
+	}
+	copy(v[lo:hi], buf[lo:hi])
+	return inv
+}
+
+// RankByScore returns the items sorted by descending score, ties broken by
+// item name ascending for determinism.
+func RankByScore(scores map[string]float64) []string {
+	items := make([]string, 0, len(scores))
+	for it := range scores {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		si, sj := scores[items[i]], scores[items[j]]
+		if si != sj {
+			return si > sj
+		}
+		return items[i] < items[j]
+	})
+	return items
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankSwitchDistanceIdentical(t *testing.T) {
+	r := []string{"a", "b", "c"}
+	if d := RankSwitchDistance(r, r); d != 0 {
+		t.Fatalf("distance(identical) = %d", d)
+	}
+}
+
+func TestRankSwitchDistanceAdjacentSwap(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"b", "a", "c"}
+	if d := RankSwitchDistance(a, b); d != 1 {
+		t.Fatalf("distance(adjacent swap) = %d, want 1", d)
+	}
+}
+
+func TestRankSwitchDistanceReversal(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"d", "c", "b", "a"}
+	// Full reversal of n items needs n(n-1)/2 switches.
+	if d := RankSwitchDistance(a, b); d != 6 {
+		t.Fatalf("distance(reversal) = %d, want 6", d)
+	}
+}
+
+func TestRankSwitchDistanceIgnoresUnknownItems(t *testing.T) {
+	a := []string{"a", "x", "b", "c"}
+	b := []string{"a", "b", "y", "c"}
+	if d := RankSwitchDistance(a, b); d != 0 {
+		t.Fatalf("distance with extraneous items = %d, want 0", d)
+	}
+}
+
+func TestRankSwitchDistanceSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		items := make([]string, n)
+		for i := range items {
+			items[i] = string(rune('a' + i))
+		}
+		a := append([]string(nil), items...)
+		b := append([]string(nil), items...)
+		rng.Shuffle(n, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		rng.Shuffle(n, func(i, j int) { b[i], b[j] = b[j], b[i] })
+		return RankSwitchDistance(a, b) == RankSwitchDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance matches the O(n²) brute-force inversion count.
+func TestRankSwitchDistanceBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		items := make([]string, n)
+		for i := range items {
+			items[i] = string(rune('a' + i))
+		}
+		a := append([]string(nil), items...)
+		b := append([]string(nil), items...)
+		rng.Shuffle(n, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		rng.Shuffle(n, func(i, j int) { b[i], b[j] = b[j], b[i] })
+
+		pos := make(map[string]int)
+		for i, s := range b {
+			pos[s] = i
+		}
+		brute := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if pos[a[i]] > pos[a[j]] {
+					brute++
+				}
+			}
+		}
+		return RankSwitchDistance(a, b) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankByScore(t *testing.T) {
+	got := RankByScore(map[string]float64{"low": 0.1, "high": 0.9, "mid": 0.5})
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankByScore = %v, want %v", got, want)
+		}
+	}
+	// Ties break by name for determinism.
+	got = RankByScore(map[string]float64{"b": 0.5, "a": 0.5})
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("tie break = %v", got)
+	}
+}
+
+func TestRankSwitchDistanceEmpty(t *testing.T) {
+	if d := RankSwitchDistance(nil, nil); d != 0 {
+		t.Fatalf("distance(nil,nil) = %d", d)
+	}
+	if d := RankSwitchDistance([]string{"a"}, []string{"a"}); d != 0 {
+		t.Fatalf("distance singleton = %d", d)
+	}
+}

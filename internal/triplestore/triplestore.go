@@ -1,0 +1,330 @@
+// Package triplestore implements an embedded, dictionary-encoded RDF-style
+// triple store with the three canonical permutation indexes (SPO, POS, OSP).
+//
+// The paper's reference implementation keeps its knowledge graphs in an
+// Apache Jena triple store and performs traversals against it. This package
+// is the equivalent substrate: it stores (subject, predicate, object)
+// triples once, dictionary-encodes all terms as dense uint32 IDs, and
+// answers the eight triple patterns (any combination of bound/unbound S, P,
+// O) by binary search over sorted permutations.
+//
+// A Store is built through a Builder and is immutable (and therefore safe
+// for concurrent readers) after Freeze.
+package triplestore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// Triple is a dictionary-encoded statement. S and O index the node
+// dictionary, P indexes the predicate dictionary.
+type Triple struct {
+	S, P, O uint32
+}
+
+// Less orders triples lexicographically by (S, P, O).
+func (t Triple) Less(u Triple) bool {
+	if t.S != u.S {
+		return t.S < u.S
+	}
+	if t.P != u.P {
+		return t.P < u.P
+	}
+	return t.O < u.O
+}
+
+// Store is an immutable triple store. Zero value is an empty store; use a
+// Builder to create populated stores.
+type Store struct {
+	nodes *dict.Dict
+	preds *dict.Dict
+
+	// triples is sorted in SPO order and deduplicated; pos and osp are
+	// permutations of indexes into triples sorted in (P,O,S) and (O,S,P)
+	// order respectively.
+	triples []Triple
+	pos     []uint32
+	osp     []uint32
+
+	predCount []int // triples per predicate, indexed by predicate ID
+}
+
+// Builder accumulates triples before freezing them into a Store.
+type Builder struct {
+	nodes   *dict.Dict
+	preds   *dict.Dict
+	triples []Triple
+}
+
+// NewBuilder returns a Builder with capacity hints for n triples.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		nodes:   dict.New(n / 4),
+		preds:   dict.New(16),
+		triples: make([]Triple, 0, n),
+	}
+}
+
+// Node interns a node name and returns its ID.
+func (b *Builder) Node(name string) uint32 { return b.nodes.Put(name) }
+
+// Predicate interns a predicate name and returns its ID.
+func (b *Builder) Predicate(name string) uint32 { return b.preds.Put(name) }
+
+// Add records the triple (s, p, o) given as strings.
+func (b *Builder) Add(s, p, o string) {
+	b.AddIDs(b.nodes.Put(s), b.preds.Put(p), b.nodes.Put(o))
+}
+
+// AddIDs records a triple of already-interned IDs.
+func (b *Builder) AddIDs(s, p, o uint32) {
+	b.triples = append(b.triples, Triple{S: s, P: p, O: o})
+}
+
+// Len returns the number of triples added so far (before deduplication).
+func (b *Builder) Len() int { return len(b.triples) }
+
+// Freeze sorts, deduplicates, and indexes the triples, returning the Store.
+// The Builder must not be used afterwards.
+func (b *Builder) Freeze() *Store {
+	ts := b.triples
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	// Deduplicate in place.
+	w := 0
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			ts[w] = t
+			w++
+		}
+	}
+	ts = ts[:w]
+
+	// Size predCount to cover every predicate ID that actually occurs,
+	// even ones injected via AddIDs without dictionary interning.
+	maxPred := b.preds.Len()
+	for _, t := range ts {
+		if int(t.P) >= maxPred {
+			maxPred = int(t.P) + 1
+		}
+	}
+	s := &Store{
+		nodes:     b.nodes,
+		preds:     b.preds,
+		triples:   ts,
+		pos:       make([]uint32, len(ts)),
+		osp:       make([]uint32, len(ts)),
+		predCount: make([]int, maxPred),
+	}
+	for i := range s.pos {
+		s.pos[i] = uint32(i)
+		s.osp[i] = uint32(i)
+	}
+	sort.Slice(s.pos, func(i, j int) bool {
+		a, c := ts[s.pos[i]], ts[s.pos[j]]
+		if a.P != c.P {
+			return a.P < c.P
+		}
+		if a.O != c.O {
+			return a.O < c.O
+		}
+		return a.S < c.S
+	})
+	sort.Slice(s.osp, func(i, j int) bool {
+		a, c := ts[s.osp[i]], ts[s.osp[j]]
+		if a.O != c.O {
+			return a.O < c.O
+		}
+		if a.S != c.S {
+			return a.S < c.S
+		}
+		return a.P < c.P
+	})
+	for _, t := range ts {
+		s.predCount[t.P]++
+	}
+	b.triples = nil
+	return s
+}
+
+// NumTriples returns the number of distinct triples.
+func (s *Store) NumTriples() int { return len(s.triples) }
+
+// NumNodes returns the number of distinct node terms.
+func (s *Store) NumNodes() int {
+	if s.nodes == nil {
+		return 0
+	}
+	return s.nodes.Len()
+}
+
+// NumPredicates returns the number of distinct predicates.
+func (s *Store) NumPredicates() int {
+	if s.preds == nil {
+		return 0
+	}
+	return s.preds.Len()
+}
+
+// Nodes returns the node dictionary.
+func (s *Store) Nodes() *dict.Dict { return s.nodes }
+
+// Predicates returns the predicate dictionary.
+func (s *Store) Predicates() *dict.Dict { return s.preds }
+
+// PredicateCount returns the number of triples whose predicate is p.
+func (s *Store) PredicateCount(p uint32) int {
+	if int(p) >= len(s.predCount) {
+		return 0
+	}
+	return s.predCount[p]
+}
+
+// Triples returns the underlying sorted triple slice. Callers must treat it
+// as read-only.
+func (s *Store) Triples() []Triple { return s.triples }
+
+// Wildcard marks an unbound pattern position.
+const Wildcard = ^uint32(0)
+
+// Match returns all triples matching the pattern, where Wildcard leaves a
+// position unbound. The result is freshly allocated.
+func (s *Store) Match(sub, pred, obj uint32) []Triple {
+	var out []Triple
+	s.ForEachMatch(sub, pred, obj, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// CountMatch returns the number of triples matching the pattern without
+// materializing them.
+func (s *Store) CountMatch(sub, pred, obj uint32) int {
+	n := 0
+	s.ForEachMatch(sub, pred, obj, func(Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachMatch streams triples matching the pattern to fn; iteration stops
+// early if fn returns false. Patterns are answered from whichever index
+// yields a contiguous range:
+//
+//	S bound           -> SPO
+//	P bound, S free   -> POS
+//	O bound, S,P free -> OSP
+//	S,O bound, P free -> OSP (range on O then filter S; the OSP order makes
+//	                          the S filter a contiguous sub-range)
+func (s *Store) ForEachMatch(sub, pred, obj uint32, fn func(Triple) bool) {
+	switch {
+	case sub != Wildcard:
+		lo, hi := s.spoRange(sub, pred)
+		for i := lo; i < hi; i++ {
+			t := s.triples[i]
+			if obj != Wildcard && t.O != obj {
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case pred != Wildcard:
+		lo, hi := s.posRange(pred, obj)
+		for i := lo; i < hi; i++ {
+			t := s.triples[s.pos[i]]
+			if !fn(t) {
+				return
+			}
+		}
+	case obj != Wildcard:
+		lo, hi := s.ospRange(obj)
+		for i := lo; i < hi; i++ {
+			t := s.triples[s.osp[i]]
+			if !fn(t) {
+				return
+			}
+		}
+	default:
+		for _, t := range s.triples {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// spoRange returns the half-open range of s.triples with subject sub and,
+// if pred != Wildcard, predicate pred.
+func (s *Store) spoRange(sub, pred uint32) (int, int) {
+	lo := sort.Search(len(s.triples), func(i int) bool {
+		t := s.triples[i]
+		if t.S != sub {
+			return t.S >= sub
+		}
+		if pred == Wildcard {
+			return true
+		}
+		return t.P >= pred
+	})
+	hi := sort.Search(len(s.triples), func(i int) bool {
+		t := s.triples[i]
+		if t.S != sub {
+			return t.S > sub
+		}
+		if pred == Wildcard {
+			return false
+		}
+		return t.P > pred
+	})
+	return lo, hi
+}
+
+// posRange returns the half-open range of s.pos with predicate pred and,
+// if obj != Wildcard, object obj.
+func (s *Store) posRange(pred, obj uint32) (int, int) {
+	lo := sort.Search(len(s.pos), func(i int) bool {
+		t := s.triples[s.pos[i]]
+		if t.P != pred {
+			return t.P >= pred
+		}
+		if obj == Wildcard {
+			return true
+		}
+		return t.O >= obj
+	})
+	hi := sort.Search(len(s.pos), func(i int) bool {
+		t := s.triples[s.pos[i]]
+		if t.P != pred {
+			return t.P > pred
+		}
+		if obj == Wildcard {
+			return false
+		}
+		return t.O > obj
+	})
+	return lo, hi
+}
+
+// ospRange returns the half-open range of s.osp with object obj.
+func (s *Store) ospRange(obj uint32) (int, int) {
+	lo := sort.Search(len(s.osp), func(i int) bool {
+		return s.triples[s.osp[i]].O >= obj
+	})
+	hi := sort.Search(len(s.osp), func(i int) bool {
+		return s.triples[s.osp[i]].O > obj
+	})
+	return lo, hi
+}
+
+// Describe returns a human-readable rendering of triple t.
+func (s *Store) Describe(t Triple) string {
+	return fmt.Sprintf("%s --%s--> %s",
+		s.nodes.StringOr(t.S, "?"),
+		s.preds.StringOr(t.P, "?"),
+		s.nodes.StringOr(t.O, "?"))
+}

@@ -1,0 +1,278 @@
+package triplestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample() *Store {
+	b := NewBuilder(8)
+	b.Add("merkel", "leaderOf", "germany")
+	b.Add("obama", "leaderOf", "usa")
+	b.Add("merkel", "studied", "physics")
+	b.Add("obama", "studied", "law")
+	b.Add("putin", "leaderOf", "russia")
+	b.Add("obama", "hasChild", "malia")
+	return b.Freeze()
+}
+
+func TestCounts(t *testing.T) {
+	s := buildSample()
+	if s.NumTriples() != 6 {
+		t.Fatalf("NumTriples = %d, want 6", s.NumTriples())
+	}
+	if s.NumPredicates() != 3 {
+		t.Fatalf("NumPredicates = %d, want 3", s.NumPredicates())
+	}
+	leaderOf := s.Predicates().Lookup("leaderOf")
+	if got := s.PredicateCount(leaderOf); got != 3 {
+		t.Fatalf("PredicateCount(leaderOf) = %d, want 3", got)
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add("a", "p", "b")
+	b.Add("a", "p", "b")
+	b.Add("a", "p", "c")
+	s := b.Freeze()
+	if s.NumTriples() != 2 {
+		t.Fatalf("NumTriples = %d, want 2 after dedup", s.NumTriples())
+	}
+}
+
+func TestMatchSubjectBound(t *testing.T) {
+	s := buildSample()
+	obama := s.Nodes().Lookup("obama")
+	got := s.Match(obama, Wildcard, Wildcard)
+	if len(got) != 3 {
+		t.Fatalf("match (obama,?,?) returned %d triples, want 3", len(got))
+	}
+	for _, tr := range got {
+		if tr.S != obama {
+			t.Fatalf("triple %v has wrong subject", tr)
+		}
+	}
+}
+
+func TestMatchSubjectPredicateBound(t *testing.T) {
+	s := buildSample()
+	obama := s.Nodes().Lookup("obama")
+	studied := s.Predicates().Lookup("studied")
+	got := s.Match(obama, studied, Wildcard)
+	if len(got) != 1 {
+		t.Fatalf("match (obama,studied,?) = %d, want 1", len(got))
+	}
+	if s.Nodes().String(got[0].O) != "law" {
+		t.Fatalf("object = %q, want law", s.Nodes().String(got[0].O))
+	}
+}
+
+func TestMatchPredicateBound(t *testing.T) {
+	s := buildSample()
+	leaderOf := s.Predicates().Lookup("leaderOf")
+	got := s.Match(Wildcard, leaderOf, Wildcard)
+	if len(got) != 3 {
+		t.Fatalf("match (?,leaderOf,?) = %d, want 3", len(got))
+	}
+}
+
+func TestMatchObjectBound(t *testing.T) {
+	s := buildSample()
+	physics := s.Nodes().Lookup("physics")
+	got := s.Match(Wildcard, Wildcard, physics)
+	if len(got) != 1 {
+		t.Fatalf("match (?,?,physics) = %d, want 1", len(got))
+	}
+	if s.Nodes().String(got[0].S) != "merkel" {
+		t.Fatalf("subject = %q, want merkel", s.Nodes().String(got[0].S))
+	}
+}
+
+func TestMatchFullyBound(t *testing.T) {
+	s := buildSample()
+	merkel := s.Nodes().Lookup("merkel")
+	studied := s.Predicates().Lookup("studied")
+	physics := s.Nodes().Lookup("physics")
+	if n := s.CountMatch(merkel, studied, physics); n != 1 {
+		t.Fatalf("exact match count = %d, want 1", n)
+	}
+	law := s.Nodes().Lookup("law")
+	if n := s.CountMatch(merkel, studied, law); n != 0 {
+		t.Fatalf("absent triple count = %d, want 0", n)
+	}
+}
+
+func TestMatchSubjectObjectBound(t *testing.T) {
+	s := buildSample()
+	merkel := s.Nodes().Lookup("merkel")
+	germany := s.Nodes().Lookup("germany")
+	got := s.Match(merkel, Wildcard, germany)
+	if len(got) != 1 {
+		t.Fatalf("match (merkel,?,germany) = %d, want 1", len(got))
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	s := buildSample()
+	if n := s.CountMatch(Wildcard, Wildcard, Wildcard); n != 6 {
+		t.Fatalf("full scan count = %d, want 6", n)
+	}
+}
+
+func TestForEachMatchEarlyStop(t *testing.T) {
+	s := buildSample()
+	n := 0
+	s.ForEachMatch(Wildcard, Wildcard, Wildcard, func(Triple) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := NewBuilder(0).Freeze()
+	if s.NumTriples() != 0 || s.NumNodes() != 0 {
+		t.Fatal("empty builder should freeze to empty store")
+	}
+	if got := s.Match(0, 0, 0); len(got) != 0 {
+		t.Fatalf("match on empty store = %v", got)
+	}
+	var zero Store
+	if zero.NumNodes() != 0 || zero.NumPredicates() != 0 {
+		t.Fatal("zero-value store should report empty dictionaries")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := buildSample()
+	tr := s.Match(s.Nodes().Lookup("putin"), Wildcard, Wildcard)[0]
+	if got := s.Describe(tr); got != "putin --leaderOf--> russia" {
+		t.Fatalf("Describe = %q", got)
+	}
+}
+
+// TestPatternsAgainstScan cross-checks every index-backed pattern against a
+// brute-force scan over randomly generated stores.
+func TestPatternsAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder(64)
+		nNodes := 1 + rng.Intn(12)
+		nPreds := 1 + rng.Intn(4)
+		nTriples := rng.Intn(120)
+		for i := 0; i < nTriples; i++ {
+			b.AddIDs(
+				b.Node(nodeName(rng.Intn(nNodes))),
+				b.Predicate(predName(rng.Intn(nPreds))),
+				b.Node(nodeName(rng.Intn(nNodes))),
+			)
+		}
+		s := b.Freeze()
+		all := s.Triples()
+
+		check := func(sub, pred, obj uint32) {
+			want := 0
+			for _, tr := range all {
+				if (sub == Wildcard || tr.S == sub) &&
+					(pred == Wildcard || tr.P == pred) &&
+					(obj == Wildcard || tr.O == obj) {
+					want++
+				}
+			}
+			if got := s.CountMatch(sub, pred, obj); got != want {
+				t.Fatalf("trial %d pattern (%d,%d,%d): got %d want %d",
+					trial, sub, pred, obj, got, want)
+			}
+		}
+
+		for probe := 0; probe < 40; probe++ {
+			sub, pred, obj := Wildcard, Wildcard, Wildcard
+			if rng.Intn(2) == 0 {
+				sub = uint32(rng.Intn(nNodes + 1)) // may be out of range
+			}
+			if rng.Intn(2) == 0 {
+				pred = uint32(rng.Intn(nPreds + 1))
+			}
+			if rng.Intn(2) == 0 {
+				obj = uint32(rng.Intn(nNodes + 1))
+			}
+			check(sub, pred, obj)
+		}
+	}
+}
+
+func nodeName(i int) string { return string(rune('a' + i)) }
+func predName(i int) string { return string(rune('p' + i)) }
+
+// TestTripleOrderProperty: Less is a strict weak ordering consistent with
+// lexicographic comparison.
+func TestTripleOrderProperty(t *testing.T) {
+	f := func(a, b Triple) bool {
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriplesSortedAfterFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBuilder(0)
+	// Intern terms first so every ID used below is valid.
+	for i := 0; i < 40; i++ {
+		b.Node(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		b.Predicate(fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < 500; i++ {
+		b.AddIDs(uint32(rng.Intn(40)), uint32(rng.Intn(5)), uint32(rng.Intn(40)))
+	}
+	s := b.Freeze()
+	ts := s.Triples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Less(ts[i-1]) {
+			t.Fatalf("triples not sorted at %d: %v then %v", i, ts[i-1], ts[i])
+		}
+		if ts[i] == ts[i-1] {
+			t.Fatalf("duplicate triple survived freeze at %d: %v", i, ts[i])
+		}
+	}
+}
+
+func BenchmarkMatchSubject(b *testing.B) {
+	bld := NewBuilder(1 << 16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1<<16; i++ {
+		bld.AddIDs(uint32(rng.Intn(4096)), uint32(rng.Intn(16)), uint32(rng.Intn(4096)))
+	}
+	s := bld.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CountMatch(uint32(i&4095), Wildcard, Wildcard)
+	}
+}
+
+func BenchmarkFreeze(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	triples := make([]Triple, 1<<15)
+	for i := range triples {
+		triples[i] = Triple{uint32(rng.Intn(4096)), uint32(rng.Intn(16)), uint32(rng.Intn(4096))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(len(triples))
+		for _, tr := range triples {
+			bld.AddIDs(tr.S, tr.P, tr.O)
+		}
+		bld.Freeze()
+	}
+}

@@ -1,0 +1,235 @@
+// Package notable is the public API of the notable-characteristics-search
+// library, a reproduction of "Notable Characteristics Search through
+// Knowledge Graphs" (Mottin et al., EDBT 2018).
+//
+// Given a knowledge graph and a small set of query entities, the library
+// finds the context of the query — the entities most similar to it — and
+// the notable characteristics: edge labels whose value or cardinality
+// distribution over the query deviates significantly from the context's.
+//
+// Quick start:
+//
+//	b := notable.NewBuilder(64)
+//	b.AddEdge("Angela Merkel", "studied", "Physics")
+//	// ... more edges ...
+//	g := b.Build()
+//
+//	engine := notable.NewEngine(g, notable.Options{ContextSize: 30})
+//	res, err := engine.SearchNames("Angela Merkel", "Barack Obama")
+//	for _, c := range res.NotableOnly() {
+//	    fmt.Printf("%s (score %.2f, %s)\n", c.Name, c.Score, c.Kind)
+//	}
+//
+// Graphs can be built programmatically (NewBuilder), loaded from triple
+// files (LoadGraphFile), or restored from binary snapshots (ReadSnapshot).
+package notable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ctxsel"
+	"repro/internal/dist"
+	"repro/internal/kg"
+	"repro/internal/ntriples"
+	"repro/internal/search"
+	"repro/internal/stats"
+	"repro/internal/topk"
+)
+
+// Re-exported graph types: the kg package is internal, the facade exposes
+// what callers need.
+type (
+	// Graph is an immutable labeled knowledge graph.
+	Graph = kg.Graph
+	// Builder constructs graphs.
+	Builder = kg.Builder
+	// NodeID identifies a graph node.
+	NodeID = kg.NodeID
+	// LabelID identifies an edge label.
+	LabelID = kg.LabelID
+	// Result is a completed search: context plus tested characteristics.
+	Result = core.Result
+	// Characteristic is the per-label test record.
+	Characteristic = core.Characteristic
+	// ContextItem is a scored context node.
+	ContextItem = topk.Item
+)
+
+// Selector names accepted by Options.Selector.
+const (
+	SelectorContextRW  = "contextrw"
+	SelectorRandomWalk = "randomwalk"
+	SelectorSimRank    = "simrank"
+	SelectorJaccard    = "jaccard"
+)
+
+// UnseenPolicy values for Options.Policy.
+const (
+	// PolicyStrict is the paper's formula: query values the context never
+	// shows are maximally notable.
+	PolicyStrict = "strict"
+	// PolicyPooled pools idiosyncratic values; see the dist package for
+	// when this matters.
+	PolicyPooled = "pooled"
+)
+
+// NewBuilder returns a graph builder with capacity hints for nEdges edges.
+func NewBuilder(nEdges int) *Builder { return kg.NewBuilder(nEdges) }
+
+// Options configures an Engine. The zero value reproduces the paper's
+// defaults: ContextRW selection, context size 100, significance 0.05,
+// strict unseen-value policy.
+type Options struct {
+	// ContextSize is k, the number of context nodes (default 100).
+	ContextSize int
+	// Selector is one of the Selector* constants (default ContextRW).
+	Selector string
+	// Walks is the PathMining budget for ContextRW (default 200000).
+	Walks int
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+	// Policy is PolicyStrict or PolicyPooled (default strict).
+	Policy string
+	// IncludeInverse keeps the auto-generated l⁻¹ labels in reports.
+	IncludeInverse bool
+	// Seed drives all randomized components (default 1).
+	Seed int64
+}
+
+// Engine runs searches against one graph. Create with NewEngine; safe for
+// concurrent use once constructed.
+type Engine struct {
+	g   *Graph
+	idx *search.Index
+	opt Options
+}
+
+// NewEngine prepares an engine (including the entity-name index) for g.
+func NewEngine(g *Graph, opt Options) *Engine {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	return &Engine{g: g, idx: search.NewIndex(g), opt: opt}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Resolve maps entity names (exact or fuzzy) to node IDs.
+func (e *Engine) Resolve(names ...string) ([]NodeID, error) {
+	ids, missing := e.idx.Resolve(names)
+	if len(missing) > 0 {
+		return ids, fmt.Errorf("notable: unresolved entities: %s", strings.Join(missing, ", "))
+	}
+	return ids, nil
+}
+
+// Suggest returns up to limit candidate entities for a mention.
+func (e *Engine) Suggest(mention string, limit int) []search.Hit {
+	return e.idx.Lookup(mention, limit)
+}
+
+// selector instantiates the configured context selector.
+func (e *Engine) selector() ctxsel.Selector {
+	switch e.opt.Selector {
+	case SelectorRandomWalk:
+		return ctxsel.RandomWalk{}
+	case SelectorSimRank:
+		return ctxsel.SimRank{}
+	case SelectorJaccard:
+		return ctxsel.Jaccard{}
+	default:
+		return ctxsel.ContextRW{Walks: e.opt.Walks, Seed: e.opt.Seed}
+	}
+}
+
+// coreOptions translates the facade options.
+func (e *Engine) coreOptions() core.Options {
+	policy := dist.UnseenStrict
+	if e.opt.Policy == PolicyPooled {
+		policy = dist.UnseenPooled
+	}
+	return core.Options{
+		ContextSize: e.opt.ContextSize,
+		Selector:    e.selector(),
+		Test:        stats.Multinomial{Alpha: e.opt.Alpha, Seed: e.opt.Seed},
+		SkipInverse: !e.opt.IncludeInverse,
+		Policy:      policy,
+		Seed:        e.opt.Seed,
+	}
+}
+
+// Search runs the full pipeline (context selection + distribution
+// comparison) for the query nodes.
+func (e *Engine) Search(query []NodeID) (Result, error) {
+	if len(query) == 0 {
+		return Result{}, fmt.Errorf("notable: empty query")
+	}
+	return core.FindNC(e.g, query, e.coreOptions()), nil
+}
+
+// SearchNames resolves entity names and runs Search.
+func (e *Engine) SearchNames(names ...string) (Result, error) {
+	query, err := e.Resolve(names...)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Search(query)
+}
+
+// Context returns only the top-k similar nodes for a query.
+func (e *Engine) Context(query []NodeID, k int) []ContextItem {
+	return e.selector().Select(e.g, query, k)
+}
+
+// Compare runs only the distribution-comparison stage against an explicit
+// context set (bring-your-own-context).
+func (e *Engine) Compare(query, context []NodeID) []Characteristic {
+	return core.CompareSets(e.g, query, context, e.coreOptions())
+}
+
+// LoadGraph reads triples (N-Triples subset or TSV) from r and builds a
+// graph. Triples whose predicate equals typePredicate become node types;
+// pass "" to keep them as edges.
+func LoadGraph(r io.Reader, typePredicate string) (*Graph, error) {
+	store, err := ntriples.LoadStore(r)
+	if err != nil {
+		return nil, fmt.Errorf("notable: loading triples: %w", err)
+	}
+	return kg.FromStore(store, typePredicate), nil
+}
+
+// LoadGraphFile loads a graph from a file path: binary snapshots (written
+// by SaveSnapshotFile) are detected by the .kgsnap extension, anything
+// else parses as triples with "type" as the type predicate.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".kgsnap") {
+		return kg.ReadSnapshot(f)
+	}
+	return LoadGraph(f, "type")
+}
+
+// SaveSnapshotFile writes the graph's binary snapshot to path.
+func SaveSnapshotFile(g *Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshot restores a graph from a binary snapshot stream.
+func ReadSnapshot(r io.Reader) (*Graph, error) { return kg.ReadSnapshot(r) }

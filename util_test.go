@@ -1,0 +1,8 @@
+package notable
+
+import "os"
+
+// writeFile is a test helper shared across root-package tests.
+func writeFile(path, data string) error {
+	return os.WriteFile(path, []byte(data), 0o644)
+}
