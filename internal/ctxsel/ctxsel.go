@@ -18,6 +18,7 @@ package ctxsel
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/kg"
 	"repro/internal/metapath"
@@ -34,6 +35,34 @@ type Selector interface {
 	Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item
 }
 
+// Scorer is implemented by selectors whose Select is a pure top-k cut over
+// a dense per-node score vector. Callers that cache or reuse scores (the
+// engine's query cache, the experiment sweeps) compute Scores once and
+// derive contexts of any size with TopKFromScores.
+type Scorer interface {
+	// Scores returns one similarity score per node; query nodes may carry
+	// arbitrary scores (they are excluded at selection time).
+	Scores(g *kg.Graph, query []kg.NodeID) []float64
+}
+
+// TopKFromScores cuts the k best-scored nodes from a dense score vector,
+// excluding the query nodes and zero scores — the shared selection step of
+// every score-based selector.
+func TopKFromScores(scores []float64, query []kg.NodeID, k int) []topk.Item {
+	skip := make(map[uint32]bool, len(query))
+	for _, q := range query {
+		skip[q] = true
+	}
+	sel := topk.New(k)
+	for id, sc := range scores {
+		if sc == 0 || skip[uint32(id)] {
+			continue
+		}
+		sel.Offer(uint32(id), sc)
+	}
+	return sel.Ranked()
+}
+
 // RandomWalk is the paper's baseline selector: summed Personalized
 // PageRank from each query node.
 type RandomWalk struct {
@@ -45,7 +74,12 @@ func (RandomWalk) Name() string { return "RandomWalk" }
 
 // Select implements Selector.
 func (s RandomWalk) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
-	return ppr.TopK(g, query, k, s.Opt)
+	return TopKFromScores(s.Scores(g, query), query, k)
+}
+
+// Scores implements Scorer: the summed per-seed PageRank vector.
+func (s RandomWalk) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
+	return ppr.PersonalizedSum(g, query, s.Opt)
 }
 
 // ContextRW is the paper's context selector (Section 3.1).
@@ -84,19 +118,7 @@ func (s ContextRW) withDefaults() ContextRW {
 
 // Select implements Selector.
 func (s ContextRW) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
-	scores := s.Scores(g, query)
-	skip := make(map[uint32]bool, len(query))
-	for _, q := range query {
-		skip[q] = true
-	}
-	sel := topk.New(k)
-	for id, sc := range scores {
-		if sc == 0 || skip[uint32(id)] {
-			continue
-		}
-		sel.Offer(uint32(id), sc)
-	}
-	return sel.Ranked()
+	return TopKFromScores(s.Scores(g, query), query, k)
 }
 
 // Scores computes σ(n', Q) for every node n'. Exposed separately so
@@ -136,58 +158,101 @@ func (s ContextRW) ScoresWithPaths(g *kg.Graph, query []kg.NodeID, mined []metap
 	}
 
 	// Select up to NumPaths query-matchable metapaths in count order,
-	// caching each one's per-node match share Σ_q counts_q[n']/denom_q.
-	type kept struct {
-		count int64
-		share []float64
-	}
-	var keptPaths []kept
+	// accumulating each one's per-node match share Σ_q counts_q[n']/denom_q
+	// in a pooled buffer with an explicit support list, so the whole loop
+	// touches only reached nodes. Path counting goes through one shared
+	// metapath.Scratch and all buffers live in one pooled scoring state —
+	// a warm call allocates only the result vector.
+	st := scoreStatePool.Get().(*scoreState)
+	st.counts = st.counts[:0]
+	nKept := 0
 	for _, mp := range mined {
-		if len(keptPaths) == s.NumPaths {
+		if nKept == s.NumPaths {
 			break
 		}
-		var share []float64
+		var sb *shareBuf
 		for _, q := range query {
-			counts := metapath.CountPaths(g, q, mp.Path)
+			counts, touched := metapath.CountPathsInto(g, q, mp.Path, &st.sc)
 			denom := 0.0
-			for id, c := range counts {
-				if c != 0 && !inQuery[kg.NodeID(id)] {
-					denom += c
+			for _, v := range touched {
+				if !inQuery[v] {
+					denom += counts[v]
 				}
 			}
 			if denom == 0 {
 				continue
 			}
-			if share == nil {
-				share = make([]float64, len(counts))
+			if sb == nil {
+				sb = st.share(nKept, g.NumNodes())
 			}
-			for id, c := range counts {
-				if c != 0 && !inQuery[kg.NodeID(id)] {
-					share[id] += c / denom
+			for _, v := range touched {
+				if inQuery[v] {
+					continue
 				}
+				if sb.buf[v] == 0 {
+					sb.touched = append(sb.touched, v)
+				}
+				sb.buf[v] += counts[v] / denom
 			}
 		}
-		if share != nil {
-			keptPaths = append(keptPaths, kept{count: mp.Count, share: share})
+		if sb != nil {
+			st.counts = append(st.counts, mp.Count)
+			nKept++
 		}
 	}
 
 	var total int64
-	for _, kp := range keptPaths {
-		total += kp.count
+	for _, c := range st.counts {
+		total += c
 	}
-	if total == 0 {
-		return scores
-	}
-	for _, kp := range keptPaths {
-		prM := float64(kp.count) / float64(total)
-		for id, sh := range kp.share {
-			if sh != 0 {
-				scores[id] += prM * sh
+	for i := 0; i < nKept; i++ {
+		sb := &st.shares[i]
+		if total > 0 {
+			prM := float64(st.counts[i]) / float64(total)
+			for _, v := range sb.touched {
+				scores[v] += prM * sb.buf[v]
 			}
 		}
+		for _, v := range sb.touched {
+			sb.buf[v] = 0
+		}
 	}
+	scoreStatePool.Put(st)
 	return scores
+}
+
+// shareBuf is one metapath's per-node match-share accumulator: a dense
+// buffer zero outside its recorded support.
+type shareBuf struct {
+	buf     []float64
+	touched []kg.NodeID
+}
+
+// scoreState bundles every reusable buffer of one ScoresWithPaths pass:
+// the path-counting scratch, one shareBuf per kept metapath, and the kept
+// counts. Pooled so repeated scoring (the engine's hot path) allocates
+// only its result vector.
+type scoreState struct {
+	sc     metapath.Scratch
+	shares []shareBuf
+	counts []int64
+}
+
+var scoreStatePool = sync.Pool{New: func() any { return &scoreState{} }}
+
+// share returns the i-th share buffer, cleared and sized for n nodes.
+// Buffers are cleared sparsely when a pass finishes, so only growth
+// allocates.
+func (st *scoreState) share(i, n int) *shareBuf {
+	if i == len(st.shares) {
+		st.shares = append(st.shares, shareBuf{})
+	}
+	sb := &st.shares[i]
+	if len(sb.buf) < n {
+		sb.buf = make([]float64, n)
+	}
+	sb.touched = sb.touched[:0]
+	return sb
 }
 
 // Jaccard is an ablation selector from related work: similarity is the

@@ -19,6 +19,7 @@ package kg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dict"
 )
@@ -81,6 +82,11 @@ type Graph struct {
 	// wdeg[n] = Σ_{e ∈ out(n)} weight[e.Label], cached for transition
 	// probability normalization.
 	wdeg []float64
+
+	// trans is the lazily built per-edge transition matrix (see
+	// TransitionCSR); derived data, never serialized.
+	transOnce sync.Once
+	trans     *TransitionCSR
 }
 
 // NumNodes returns |V|.

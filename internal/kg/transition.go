@@ -1,0 +1,126 @@
+package kg
+
+// TransitionCSR is the informativeness-weighted transition matrix of Eq. 1
+// in compressed sparse row form: one probability per edge, laid out in the
+// exact order of the graph's CSR edge slice, so that Probs(n)[i] is the
+// probability of a walker at n taking OutEdges(n)[i].
+//
+// Rows are normalized to sum to 1: Probs(n)[i] = w(l_i) / wdeg(n), with a
+// uniform fallback (1/deg) for nodes whose weighted out-degree is zero
+// (every incident label has weight 0 — the single-label graph case), so
+// that no row silently drops walk mass. Dangling nodes have empty rows.
+//
+// The matrix is derived data: it is built once per graph on first use and
+// shared by all readers, replacing the per-edge LabelWeight and
+// WeightedOutDegree lookups that previously sat inside PageRank's
+// power-iteration inner loop.
+type TransitionCSR struct {
+	g    *Graph
+	prob []float64 // len NumEdges, aligned with g.edges
+
+	// Transpose layout for gather-style power iteration: the in-edges of
+	// node x are tFrom[tOff[x]:tOff[x+1]] with matching arrival
+	// probabilities in tProb — tProb entries are the forward transition
+	// probabilities of the corresponding source edges, reordered by
+	// target.
+	tOff  []int64
+	tFrom []NodeID
+	tProb []float64
+	// dangling lists the out-degree-zero nodes, whose mass the teleport
+	// redistributes.
+	dangling []NodeID
+}
+
+// Transitions returns the graph's weighted transition matrix, building it
+// on first call. Safe for concurrent use; the result is shared and must
+// not be modified.
+func (g *Graph) Transitions() *TransitionCSR {
+	g.transOnce.Do(func() {
+		n := g.NumNodes()
+		t := &TransitionCSR{g: g, prob: make([]float64, len(g.edges))}
+		for v := 0; v < n; v++ {
+			lo, hi := g.offsets[v], g.offsets[v+1]
+			if lo == hi {
+				t.dangling = append(t.dangling, NodeID(v))
+				continue
+			}
+			if wd := g.wdeg[v]; wd > 0 {
+				inv := 1 / wd
+				for i := lo; i < hi; i++ {
+					t.prob[i] = g.weight[g.edges[i].Label] * inv
+				}
+			} else {
+				u := 1 / float64(hi-lo)
+				for i := lo; i < hi; i++ {
+					t.prob[i] = u
+				}
+			}
+		}
+		// Transpose by counting sort on edge targets.
+		t.tOff = make([]int64, n+1)
+		t.tFrom = make([]NodeID, len(g.edges))
+		t.tProb = make([]float64, len(g.edges))
+		for _, e := range g.edges {
+			t.tOff[e.To+1]++
+		}
+		for v := 1; v <= n; v++ {
+			t.tOff[v] += t.tOff[v-1]
+		}
+		cursor := make([]int64, n)
+		for from := 0; from < n; from++ {
+			for i := g.offsets[from]; i < g.offsets[from+1]; i++ {
+				to := g.edges[i].To
+				pos := t.tOff[to] + cursor[to]
+				t.tFrom[pos] = NodeID(from)
+				t.tProb[pos] = t.prob[i]
+				cursor[to]++
+			}
+		}
+		g.trans = t
+	})
+	return g.trans
+}
+
+// Probs returns the transition probabilities of node n's out-edges,
+// aligned with OutEdges(n). The slice is owned by the matrix and must not
+// be modified.
+func (t *TransitionCSR) Probs(n NodeID) []float64 {
+	return t.prob[t.g.offsets[n]:t.g.offsets[n+1]]
+}
+
+// GatherStep computes one damped power-iteration step, next = c·Ã·p, as a
+// gather over the transpose layout, and returns the probability mass
+// sitting on dangling (out-degree-zero) nodes. It is the saturated-
+// frontier kernel of the ppr package: next is written sequentially and
+// overwritten outright (no pre-zeroing), in-edge lists and probabilities
+// stream linearly, and only the reads of p are random. next must have at
+// least NumNodes entries.
+func (t *TransitionCSR) GatherStep(next, p []float64, c float64) (dangling float64) {
+	n := t.g.NumNodes()
+	next = next[:n]
+	lo := int(t.tOff[0])
+	for x := 0; x < n; x++ {
+		hi := int(t.tOff[x+1])
+		row := t.tFrom[lo:hi]
+		pr := t.tProb[lo:hi:hi][:len(row)]
+		// Four running sums break the accumulator dependency chain (the
+		// loop is FMA-latency-bound otherwise).
+		var acc0, acc1, acc2, acc3 float64
+		k := 0
+		for ; k+3 < len(row); k += 4 {
+			acc0 += p[row[k]] * pr[k]
+			acc1 += p[row[k+1]] * pr[k+1]
+			acc2 += p[row[k+2]] * pr[k+2]
+			acc3 += p[row[k+3]] * pr[k+3]
+		}
+		for ; k < len(row); k++ {
+			acc0 += p[row[k]] * pr[k]
+		}
+		next[x] = c * ((acc0 + acc1) + (acc2 + acc3))
+		lo = hi
+	}
+	for _, d := range t.dangling {
+		dangling += p[d]
+	}
+	return dangling
+}

@@ -13,9 +13,10 @@
 // mined metapaths therefore point *toward* the query; Reverse turns one
 // into the equivalent query-outward metapath over inverse labels.
 //
-// Counting: CountPaths propagates path counts along the label sequence with
-// one sparse-to-dense frontier per step, giving |{n ⇝m x}| for every x in
-// one pass — the quantity σ of Section 3.1 needs.
+// Counting: CountPathsInto propagates path counts along the label sequence
+// with one sparse frontier sweep per step, giving |{n ⇝m x}| for every x in
+// one pass — the quantity σ of Section 3.1 needs — into reusable Scratch
+// buffers; CountPaths is its allocating convenience form.
 package metapath
 
 import (
@@ -267,53 +268,85 @@ func TotalCount(mined []Mined) int64 {
 	return t
 }
 
-// CountPaths returns, for every node x, the number of paths start ⇝m x
-// that follow the label sequence m. Counts are float64 because path counts
-// grow multiplicatively with length and degree.
+// Scratch holds the reusable dense buffers of a path-counting sweep. One
+// Scratch serves any number of sequential CountPathsInto calls (it clears
+// the previous call's support sparsely on entry); it is not safe for
+// concurrent use. The zero value is ready; buffers grow to the largest
+// graph seen.
+type Scratch struct {
+	cur, next   []float64
+	curT, nextT []kg.NodeID
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool recycles Scratch buffers for the allocating CountPaths
+// wrapper.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// CountPathsInto computes, for every node x, the number of paths
+// start ⇝m x that follow the label sequence m, using sc's reusable
+// buffers. It returns the dense count vector together with the list of
+// nodes holding a nonzero count, so callers can iterate the support
+// sparsely. Both return values alias sc's buffers and are valid until the
+// next call with the same Scratch.
 //
-// The frontier is propagated label by label: one O(Σ deg) sweep per step.
-func CountPaths(g *kg.Graph, start kg.NodeID, m Path) []float64 {
+// The frontier is propagated label by label: one O(Σ deg(frontier)) sweep
+// per step, touching only reached nodes. This is the hot path of the
+// ContextRW scoring loop, which counts one (metapath, query node) pair per
+// call without allocating.
+func CountPathsInto(g *kg.Graph, start kg.NodeID, m Path, sc *Scratch) ([]float64, []kg.NodeID) {
 	n := g.NumNodes()
-	cur := make([]float64, n)
-	next := make([]float64, n)
-	curTouched := []kg.NodeID{start}
+	if len(sc.cur) < n {
+		sc.cur = make([]float64, n)
+		sc.next = make([]float64, n)
+	} else {
+		// Clear the previous call's support.
+		for _, v := range sc.curT {
+			sc.cur[v] = 0
+		}
+	}
+	cur, next := sc.cur, sc.next
+	curT, spareT := sc.curT[:0], sc.nextT[:0]
+	curT = append(curT, start)
 	cur[start] = 1
 	for _, label := range m {
-		nextTouched := curTouched[:0:0] // fresh slice, keep cur's intact
-		for _, v := range curTouched {
+		nextT := spareT[:0]
+		for _, v := range curT {
 			c := cur[v]
-			if c == 0 {
-				continue
-			}
 			for _, e := range g.OutEdgesByLabel(v, label) {
 				if next[e.To] == 0 {
-					nextTouched = append(nextTouched, e.To)
+					nextT = append(nextT, e.To)
 				}
 				next[e.To] += c
 			}
 		}
 		// Reset cur for reuse and swap.
-		for _, v := range curTouched {
+		for _, v := range curT {
 			cur[v] = 0
 		}
 		cur, next = next, cur
-		curTouched = nextTouched
-		if len(curTouched) == 0 {
+		curT, spareT = nextT, curT
+		if len(curT) == 0 {
 			break
 		}
 	}
-	return cur
+	sc.cur, sc.next = cur, next
+	sc.curT, sc.nextT = curT, spareT
+	return cur, curT
 }
 
-// CountPathsInto is CountPaths with a caller-provided accumulator: counts
-// are added into acc scaled by factor, and the set of touched nodes is
-// returned. This avoids one allocation per (metapath, query node) pair in
-// the ContextRW scoring loop.
-func CountPathsInto(g *kg.Graph, start kg.NodeID, m Path, factor float64, acc []float64) {
-	counts := CountPaths(g, start, m)
-	for i, c := range counts {
-		if c != 0 {
-			acc[i] += factor * c
-		}
+// CountPaths is the allocating convenience form of CountPathsInto: it
+// returns a fresh count vector the caller owns, recycling internal
+// buffers through a pool.
+func CountPaths(g *kg.Graph, start kg.NodeID, m Path) []float64 {
+	sc := scratchPool.Get().(*Scratch)
+	counts, touched := CountPathsInto(g, start, m, sc)
+	out := make([]float64, g.NumNodes())
+	for _, v := range touched {
+		out[v] = counts[v]
 	}
+	scratchPool.Put(sc)
+	return out
 }

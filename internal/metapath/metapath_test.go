@@ -111,14 +111,64 @@ func TestPathKeyDistinguishes(t *testing.T) {
 	}
 }
 
-func TestCountPathsIntoAccumulates(t *testing.T) {
+func TestCountPathsIntoReturnsSupport(t *testing.T) {
 	g := diamond()
 	m := Path{labelID(t, g, "p"), labelID(t, g, "q")}
-	acc := make([]float64, g.NumNodes())
-	CountPathsInto(g, nodeID(t, g, "a"), m, 0.5, acc)
-	CountPathsInto(g, nodeID(t, g, "a"), m, 0.5, acc)
-	if got := acc[nodeID(t, g, "z")]; got != 2 {
-		t.Fatalf("accumulated = %v, want 2", got)
+	sc := NewScratch()
+	counts, touched := CountPathsInto(g, nodeID(t, g, "a"), m, sc)
+	if got := counts[nodeID(t, g, "z")]; got != 2 {
+		t.Fatalf("paths a=>z = %v, want 2", got)
+	}
+	support := map[kg.NodeID]bool{}
+	for _, v := range touched {
+		if counts[v] == 0 {
+			t.Fatalf("touched node %d has zero count", v)
+		}
+		if support[v] {
+			t.Fatalf("touched list repeats node %d", v)
+		}
+		support[v] = true
+	}
+	for i, c := range counts {
+		if (c != 0) != support[kg.NodeID(i)] {
+			t.Fatalf("support mismatch at node %d: count %v, touched %v", i, c, support[kg.NodeID(i)])
+		}
+	}
+}
+
+func TestCountPathsIntoScratchReuse(t *testing.T) {
+	g := diamond()
+	a := nodeID(t, g, "a")
+	p := Path{labelID(t, g, "p")}
+	pq := Path{labelID(t, g, "p"), labelID(t, g, "q")}
+	sc := NewScratch()
+	// First count reaches z and w; the second, shorter path must not see
+	// stale counts from the first.
+	CountPathsInto(g, a, pq, sc)
+	counts, touched := CountPathsInto(g, a, p, sc)
+	if counts[nodeID(t, g, "z")] != 0 || counts[nodeID(t, g, "w")] != 0 {
+		t.Fatalf("stale counts survived scratch reuse: %v", counts)
+	}
+	if len(touched) != 2 { // m1, m2
+		t.Fatalf("touched = %v, want the two p-targets", touched)
+	}
+	// And the result matches a fresh computation.
+	want := CountPaths(g, a, p)
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("reused scratch differs at %d: %v vs %v", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestCountPathsIntoNoAllocsSteadyState(t *testing.T) {
+	g := diamond()
+	a := nodeID(t, g, "a")
+	m := Path{labelID(t, g, "p"), labelID(t, g, "q")}
+	sc := NewScratch()
+	CountPathsInto(g, a, m, sc)
+	if allocs := testing.AllocsPerRun(100, func() { CountPathsInto(g, a, m, sc) }); allocs != 0 {
+		t.Fatalf("CountPathsInto allocates %v/op with a warm scratch, want 0", allocs)
 	}
 }
 

@@ -14,9 +14,31 @@
 // This is the paper's RandomWalk baseline for context selection: one full
 // PageRank per query node (v = e_n for each n ∈ Q individually), summed,
 // then the top-k nodes excluding the query form the context.
+//
+// # Implementation
+//
+// Real knowledge graphs are sparse with heavy-tailed degrees, so for the
+// first iterations the walk touches only the seed's neighbourhood — a
+// tiny fraction of V. The power iteration therefore starts by tracking a
+// sparse frontier (the touched-node list of the current vector) instead
+// of scanning all n nodes, and switches one-way to flat dense sweeps
+// (kg.TransitionCSR.DenseStep) once the frontier saturates past
+// NumNodes/denseSwitchDivisor, where frontier bookkeeping costs more than
+// it saves. Both regimes read per-edge transition probabilities from the
+// graph's precomputed kg.TransitionCSR rather than recomputing w(l)/wdeg
+// per edge per iteration, and the teleport term is applied sparsely over
+// the seeds. Scratch vectors are recycled through a sync.Pool and cleared
+// sparsely, so a steady-state Personalized call allocates only its result
+// slice.
+//
+// PersonalizedSum processes seeds in blocks on a bounded worker pool:
+// memory is O(workers·n) rather than O(seeds·n), and per-seed vectors are
+// folded into the running sum in ascending seed order, so results are
+// bitwise identical for every Parallelism setting.
 package ppr
 
 import (
+	"runtime"
 	"sync"
 
 	"repro/internal/kg"
@@ -35,8 +57,9 @@ type Options struct {
 	// Uniform disables informativeness weighting and walks uniformly over
 	// out-edges — the ablation of Eq. 1's weighting.
 	Uniform bool
-	// Parallelism bounds the number of concurrent per-seed computations in
-	// PersonalizedSum. 0 means one goroutine per seed.
+	// Parallelism bounds the worker pool of PersonalizedSum. 0 uses
+	// min(GOMAXPROCS, len(seeds)) workers. Results are identical for
+	// every setting.
 	Parallelism int
 }
 
@@ -51,104 +74,296 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// workspace holds the dense iteration state of one PageRank run. All
+// slices are zero outside the recorded touched/seed lists (the whole
+// vector once dense is set), an invariant maintained by reset so pooled
+// workspaces start clean.
+type workspace struct {
+	p, next []float64
+	v       []float64   // personalization, nonzero only at seeds
+	touched []kg.NodeID // nodes with p != 0 (unused once dense)
+	nextT   []kg.NodeID // nodes with next != 0 (scratch for the sweep)
+	seeds   []kg.NodeID // deduplicated seed list
+	n       int         // graph size of the current run
+	dense   bool        // the run saturated and switched to dense sweeps
+}
+
+var wsPool sync.Pool
+
+// getWorkspace returns a zeroed workspace with capacity for n nodes.
+func getWorkspace(n int) *workspace {
+	ws, _ := wsPool.Get().(*workspace)
+	if ws == nil {
+		ws = &workspace{}
+	}
+	if len(ws.p) < n {
+		ws.p = make([]float64, n)
+		ws.next = make([]float64, n)
+		ws.v = make([]float64, n)
+	}
+	return ws
+}
+
+// reset clears the workspace back to all-zero state — sparsely via the
+// touched list, or with one full sweep if the run went dense.
+func (ws *workspace) reset() {
+	if ws.dense {
+		// Gather sweeps overwrite instead of accumulate, so both vectors
+		// may hold stale values after a dense run.
+		clear(ws.p[:ws.n])
+		clear(ws.next[:ws.n])
+		ws.dense = false
+	} else {
+		for _, u := range ws.touched {
+			ws.p[u] = 0
+		}
+	}
+	for _, s := range ws.seeds {
+		ws.v[s] = 0
+	}
+	ws.touched = ws.touched[:0]
+	ws.nextT = ws.nextT[:0]
+	ws.seeds = ws.seeds[:0]
+}
+
+// release resets the workspace and returns it to the pool.
+func (ws *workspace) release() {
+	ws.reset()
+	wsPool.Put(ws)
+}
+
+// denseSwitchDivisor controls the sparse→dense handoff: an iteration runs
+// dense once the frontier exceeds NumNodes/denseSwitchDivisor. The gather
+// sweep costs O(E) regardless of support, while the sparse sweep pays
+// several times more per frontier edge for its bookkeeping (zero checks,
+// touched appends, scattered writes), so the crossover sits well below
+// half the graph. Support only grows (the teleport re-injects the seeds
+// every iteration), so the switch is one-way.
+const denseSwitchDivisor = 6
+
+// personalizedInto runs the hybrid power iteration, leaving the final
+// vector in ws.p — with its support in ws.touched, or dense (ws.dense)
+// if the frontier saturated. opt must already carry defaults; the caller
+// owns ws and must reset or release it after consuming the result.
+func personalizedInto(g *kg.Graph, seeds []kg.NodeID, opt Options, ws *workspace) {
+	ws.n = g.NumNodes()
+	mass := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		if ws.v[s] == 0 {
+			ws.seeds = append(ws.seeds, s)
+		}
+		ws.v[s] += mass
+	}
+	for _, s := range ws.seeds {
+		ws.p[s] = ws.v[s]
+		ws.touched = append(ws.touched, s)
+	}
+
+	var tr *kg.TransitionCSR
+	if !opt.Uniform {
+		tr = g.Transitions()
+	}
+	c := opt.Damping
+	p, next := ws.p, ws.next
+	touched, nextT := ws.touched, ws.nextT[:0]
+	for it := 0; it < opt.Iterations; it++ {
+		if !ws.dense && len(touched)*denseSwitchDivisor >= ws.n {
+			ws.dense = true
+		}
+		var dangling float64
+		switch {
+		case !ws.dense:
+			dangling = sparseSweep(g, tr, p, next, touched, &nextT, c, opt.Uniform)
+		case opt.Uniform:
+			dangling = ws.uniformDenseSweep(g, p, next, c)
+		default:
+			// Gather overwrites next outright — no pre-zeroing needed.
+			dangling = tr.GatherStep(next, p, c)
+		}
+		// Teleport: restart mass plus mass stranded on dangling nodes,
+		// distributed over the personalization — only seeds are nonzero.
+		restart := (1 - c) + c*dangling
+		for _, s := range ws.seeds {
+			if !ws.dense && next[s] == 0 {
+				nextT = append(nextT, s)
+			}
+			next[s] += restart * ws.v[s]
+		}
+		switch {
+		case !ws.dense:
+			for _, u := range touched {
+				p[u] = 0
+			}
+		case opt.Uniform:
+			// The uniform dense sweep accumulates, so the vector it will
+			// reuse as next must go back to zero.
+			clear(p[:ws.n])
+			// Weighted dense sweeps overwrite: stale p is reused as-is.
+		}
+		p, next = next, p
+		touched, nextT = nextT, touched[:0]
+	}
+	ws.p, ws.next = p, next
+	ws.touched, ws.nextT = touched, nextT
+}
+
+// sparseSweep propagates one step over the frontier only, appending the
+// support of next to *nextT. Used while the walk touches a small fraction
+// of the graph.
+func sparseSweep(g *kg.Graph, tr *kg.TransitionCSR, p, next []float64, touched []kg.NodeID, nextT *[]kg.NodeID, c float64, uniform bool) float64 {
+	nt := *nextT
+	dangling := 0.0
+	for _, from := range touched {
+		pf := p[from]
+		adj := g.OutEdges(from)
+		if len(adj) == 0 {
+			dangling += pf
+			continue
+		}
+		cpf := c * pf
+		if uniform {
+			share := cpf / float64(len(adj))
+			for _, e := range adj {
+				if next[e.To] == 0 {
+					nt = append(nt, e.To)
+				}
+				next[e.To] += share
+			}
+			continue
+		}
+		probs := tr.Probs(from)
+		for i, e := range adj {
+			share := cpf * probs[i]
+			if share == 0 {
+				continue // zero-weight label: no mass, keep nextT exact
+			}
+			if next[e.To] == 0 {
+				nt = append(nt, e.To)
+			}
+			next[e.To] += share
+		}
+	}
+	*nextT = nt
+	return dangling
+}
+
+// uniformDenseSweep propagates one uniform-walk step with a full
+// accumulate sweep — the saturated regime of the Uniform ablation; the
+// weighted saturated regime uses kg.TransitionCSR.GatherStep instead.
+func (ws *workspace) uniformDenseSweep(g *kg.Graph, p, next []float64, c float64) float64 {
+	dangling := 0.0
+	for from := 0; from < ws.n; from++ {
+		pf := p[from]
+		if pf == 0 {
+			continue
+		}
+		adj := g.OutEdges(kg.NodeID(from))
+		if len(adj) == 0 {
+			dangling += pf
+			continue
+		}
+		share := c * pf / float64(len(adj))
+		for _, e := range adj {
+			next[e.To] += share
+		}
+	}
+	return dangling
+}
+
 // Personalized computes the PageRank vector for a single personalization
 // distribution v given as a sparse set of seed nodes with uniform mass.
 // The returned slice has one score per node.
 func Personalized(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
-	p := make([]float64, n)
-	next := make([]float64, n)
 	if n == 0 || len(seeds) == 0 {
-		return p
+		return make([]float64, n)
 	}
-
-	v := make([]float64, n)
-	mass := 1 / float64(len(seeds))
-	for _, s := range seeds {
-		v[s] += mass
+	ws := getWorkspace(n)
+	personalizedInto(g, seeds, opt, ws)
+	if ws.dense && len(ws.p) == n {
+		// Steal the dense result and hand the workspace a fresh zero
+		// vector in its place — cheaper than copying it out and clearing
+		// it back to zero.
+		out := ws.p
+		ws.p = make([]float64, n)
+		clear(ws.next[:n])
+		ws.dense = false
+		ws.release()
+		return out
 	}
-	copy(p, v)
-
-	c := opt.Damping
-	for it := 0; it < opt.Iterations; it++ {
-		for i := range next {
-			next[i] = 0
+	out := make([]float64, n)
+	if ws.dense {
+		copy(out, ws.p[:n])
+	} else {
+		for _, u := range ws.touched {
+			out[u] = ws.p[u]
 		}
-		dangling := 0.0
-		for from := 0; from < n; from++ {
-			pf := p[from]
-			if pf == 0 {
-				continue
-			}
-			adj := g.OutEdges(kg.NodeID(from))
-			if len(adj) == 0 {
-				dangling += pf
-				continue
-			}
-			if opt.Uniform {
-				share := c * pf / float64(len(adj))
-				for _, e := range adj {
-					next[e.To] += share
-				}
-				continue
-			}
-			wd := g.WeightedOutDegree(kg.NodeID(from))
-			if wd <= 0 {
-				// All labels at weight 0 (single-label graph): fall back
-				// to uniform so mass is not silently dropped.
-				share := c * pf / float64(len(adj))
-				for _, e := range adj {
-					next[e.To] += share
-				}
-				continue
-			}
-			base := c * pf / wd
-			for _, e := range adj {
-				next[e.To] += base * g.LabelWeight(e.Label)
-			}
-		}
-		// Teleport: restart mass plus mass stranded on dangling nodes.
-		restart := (1 - c) + c*dangling
-		for i := range next {
-			next[i] += restart * v[i]
-		}
-		p, next = next, p
 	}
-	return p
+	ws.release()
+	return out
 }
 
 // PersonalizedSum runs Personalized once per seed (the paper computes "the
 // PageRank starting from each node in the query ... individually") and
-// returns the element-wise sum of the resulting vectors. Runs are
-// independent and execute concurrently.
+// returns the element-wise sum of the resulting vectors.
+//
+// Seeds are processed in blocks of Parallelism workers, each folding its
+// per-seed vector into the sum in ascending seed order, so the result is
+// bitwise identical for every Parallelism setting while peak memory stays
+// at O(workers·n).
 func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
+	opt = opt.withDefaults()
 	n := g.NumNodes()
 	sum := make([]float64, n)
-	if len(seeds) == 0 {
+	if n == 0 || len(seeds) == 0 {
 		return sum
 	}
 	workers := opt.Parallelism
-	if workers <= 0 || workers > len(seeds) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	results := make([][]float64, len(seeds))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, s := range seeds {
-		wg.Add(1)
-		go func(i int, s kg.NodeID) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = Personalized(g, []kg.NodeID{s}, opt)
-		}(i, s)
+	wss := make([]*workspace, workers)
+	for i := range wss {
+		wss[i] = getWorkspace(n)
 	}
-	wg.Wait()
-	for _, r := range results {
-		for i, sc := range r {
-			sum[i] += sc
+	var wg sync.WaitGroup
+	for base := 0; base < len(seeds); base += workers {
+		m := len(seeds) - base
+		if m > workers {
+			m = workers
 		}
+		wg.Add(m)
+		for j := 0; j < m; j++ {
+			go func(j int) {
+				defer wg.Done()
+				personalizedInto(g, seeds[base+j:base+j+1], opt, wss[j])
+			}(j)
+		}
+		wg.Wait()
+		// Fold in ascending seed order: addition order per element is the
+		// same as a sequential loop, for any worker count.
+		for j := 0; j < m; j++ {
+			ws := wss[j]
+			if ws.dense {
+				for i, x := range ws.p[:n] {
+					if x != 0 {
+						sum[i] += x
+					}
+				}
+			} else {
+				for _, u := range ws.touched {
+					sum[u] += ws.p[u]
+				}
+			}
+			ws.reset()
+		}
+	}
+	for _, ws := range wss {
+		ws.release()
 	}
 	return sum
 }

@@ -1,0 +1,153 @@
+// Package qcache provides the engine-level query cache: a small,
+// thread-safe LRU keyed by canonicalized query strings, memoizing the
+// expensive half of a notable-characteristics search (metapath mining and
+// selector score vectors) so repeated queries — the heavy-traffic case —
+// skip mining and walking entirely.
+//
+// # Key scheme
+//
+// A cache key is built by Key: a selector/options prefix (anything that
+// changes the cached value must be folded into it — selector name, walk
+// budget, seed, and for selectors without a score vector the context size
+// k) followed by the query node IDs sorted ascending and deduplicated, so
+// that permutations of one entity set share an entry. Queries listing the
+// same node twice are not canonicalizable (duplicate seeds change
+// PageRank's personalization mass) — callers bypass the cache for those.
+//
+// Values are opaque to the cache; the engine stores dense score vectors
+// and ranked context slices. Both are treated as immutable once cached.
+package qcache
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Cache is a bounded LRU map with hit/miss/eviction counters. A nil
+// *Cache is a valid no-op cache: Get always misses and Put does nothing.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// entry is one cached key/value pair, stored in the recency list.
+type entry struct {
+	key string
+	val any
+}
+
+// New returns a cache bounded to capacity entries. capacity <= 0 returns
+// nil, the no-op cache.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// dropped to make room.
+	Hits, Misses, Evictions uint64
+	// Size is the current entry count, Capacity the bound.
+	Size, Capacity int
+}
+
+// Stats returns the current counters. A nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Key canonicalizes a query node set under an options prefix: IDs are
+// sorted ascending and deduplicated, so every permutation of one entity
+// set maps to the same key. ok is false when ids contains duplicates —
+// such queries are not canonicalizable (see the package comment) and must
+// bypass the cache.
+func Key(prefix string, ids []uint32) (key string, ok bool) {
+	sorted := make([]uint32, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b []byte
+	b = append(b, prefix...)
+	for i, id := range sorted {
+		if i > 0 && id == sorted[i-1] {
+			return "", false
+		}
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(id), 10)
+	}
+	return string(b), true
+}

@@ -1,0 +1,120 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetAndLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutRefreshesExistingKey(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double Put", c.Len())
+	}
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatalf("refreshed value = %v", v)
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	c := New(4)
+	c.Get("nope")
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilCacheIsNoOp(t *testing.T) {
+	var c *Cache
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reports non-zero state")
+	}
+	if New(0) != nil || New(-3) != nil {
+		t.Fatal("non-positive capacity should return the nil cache")
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	a, ok := Key("sel", []uint32{3, 1, 2})
+	if !ok {
+		t.Fatal("key rejected")
+	}
+	b, _ := Key("sel", []uint32{2, 3, 1})
+	if a != b {
+		t.Fatalf("permutations differ: %q vs %q", a, b)
+	}
+	c, _ := Key("sel", []uint32{1, 2})
+	if a == c {
+		t.Fatal("different sets share a key")
+	}
+	d, _ := Key("other", []uint32{3, 1, 2})
+	if a == d {
+		t.Fatal("different prefixes share a key")
+	}
+	// IDs that would concatenate ambiguously stay distinct.
+	e1, _ := Key("p", []uint32{1, 23})
+	e2, _ := Key("p", []uint32{12, 3})
+	if e1 == e2 {
+		t.Fatal("separator failed to disambiguate IDs")
+	}
+	if _, ok := Key("sel", []uint32{1, 2, 2}); ok {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+	if empty, ok := Key("sel", nil); !ok || empty != "sel" {
+		t.Fatalf("empty id key = %q, %v", empty, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%32)
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

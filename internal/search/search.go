@@ -21,6 +21,9 @@ type Index struct {
 	g       *kg.Graph
 	byToken map[string][]kg.NodeID
 	exact   map[string]kg.NodeID
+	// tokenCount[n] = len(Tokenize(NodeName(n))), precomputed so Lookup's
+	// brevity discount does not re-tokenize every candidate on every query.
+	tokenCount []int
 }
 
 // Hit is a scored match.
@@ -40,16 +43,19 @@ func Tokenize(s string) []string {
 // NewIndex indexes every node name of g.
 func NewIndex(g *kg.Graph) *Index {
 	idx := &Index{
-		g:       g,
-		byToken: make(map[string][]kg.NodeID),
-		exact:   make(map[string]kg.NodeID, g.NumNodes()),
+		g:          g,
+		byToken:    make(map[string][]kg.NodeID),
+		exact:      make(map[string]kg.NodeID, g.NumNodes()),
+		tokenCount: make([]int, g.NumNodes()),
 	}
 	for n := 0; n < g.NumNodes(); n++ {
 		id := kg.NodeID(n)
 		name := g.NodeName(id)
 		idx.exact[strings.ToLower(name)] = id
+		toks := Tokenize(name)
+		idx.tokenCount[n] = len(toks)
 		seen := map[string]bool{}
-		for _, tok := range Tokenize(name) {
+		for _, tok := range toks {
 			if seen[tok] {
 				continue
 			}
@@ -86,7 +92,7 @@ func (idx *Index) Lookup(mention string, limit int) []Hit {
 			if len(hits) > 0 && hits[0].Node == id {
 				continue // already present as the exact match
 			}
-			nameTokens := len(Tokenize(idx.g.NodeName(id)))
+			nameTokens := idx.tokenCount[id]
 			coverage := float64(n) / float64(len(tokens))
 			brevity := float64(n) / float64(nameTokens)
 			hits = append(hits, Hit{

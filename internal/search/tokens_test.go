@@ -1,0 +1,44 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// TestTokenCountsPrecomputed pins the NewIndex-time token counts to what
+// Lookup previously recomputed per candidate per query.
+func TestTokenCountsPrecomputed(t *testing.T) {
+	g := testGraph()
+	idx := NewIndex(g)
+	if len(idx.tokenCount) != g.NumNodes() {
+		t.Fatalf("tokenCount len %d, want %d", len(idx.tokenCount), g.NumNodes())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		want := len(Tokenize(g.NodeName(kg.NodeID(n))))
+		if idx.tokenCount[n] != want {
+			t.Fatalf("node %d (%s): tokenCount %d, want %d",
+				n, g.NodeName(kg.NodeID(n)), idx.tokenCount[n], want)
+		}
+	}
+}
+
+// TestLookupDoesNotRetokenizeCandidates: with many candidates per token,
+// Lookup's per-query allocations stay bounded by the hit slice — not by
+// one Tokenize call per candidate.
+func TestLookupDoesNotRetokenizeCandidates(t *testing.T) {
+	b := kg.NewBuilder(256)
+	for i := 0; i < 200; i++ {
+		b.Node(fmt.Sprintf("Obama Variant Number %03d Extra Words Here", i))
+	}
+	g := b.Build()
+	idx := NewIndex(g)
+	idx.Lookup("obama variant", 5)
+	allocs := testing.AllocsPerRun(20, func() { idx.Lookup("obama variant", 5) })
+	// Tokenizing each of the 200 candidates costs ≥ 1 alloc apiece; the
+	// precomputed counts keep the whole lookup far below that.
+	if allocs > 50 {
+		t.Fatalf("Lookup allocates %v/op; candidate re-tokenization is back", allocs)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/kg"
 	"repro/internal/ntriples"
+	"repro/internal/qcache"
 	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/topk"
@@ -98,14 +99,25 @@ type Options struct {
 	IncludeInverse bool
 	// Seed drives all randomized components (default 1).
 	Seed int64
+	// CacheSize bounds the engine's query cache: the number of memoized
+	// selector score vectors / contexts (see internal/qcache). 0 selects
+	// DefaultCacheSize; negative disables caching. Caching never changes
+	// results — every randomized component is seeded — it only skips
+	// repeated metapath mining and walking.
+	CacheSize int
 }
+
+// DefaultCacheSize is the query-cache capacity used when Options.CacheSize
+// is zero.
+const DefaultCacheSize = 256
 
 // Engine runs searches against one graph. Create with NewEngine; safe for
 // concurrent use once constructed.
 type Engine struct {
-	g   *Graph
-	idx *search.Index
-	opt Options
+	g     *Graph
+	idx   *search.Index
+	opt   Options
+	cache *qcache.Cache
 }
 
 // NewEngine prepares an engine (including the entity-name index) for g.
@@ -113,8 +125,16 @@ func NewEngine(g *Graph, opt Options) *Engine {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
-	return &Engine{g: g, idx: search.NewIndex(g), opt: opt}
+	size := opt.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.New(size)}
 }
+
+// CacheStats reports the query cache's hit/miss/eviction counters. A
+// cache-disabled engine reports zeros.
+func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *Graph { return e.g }
@@ -147,6 +167,58 @@ func (e *Engine) selector() ctxsel.Selector {
 	}
 }
 
+// cachedSelector wraps a selector with the engine's query cache. For
+// score-based selectors (ctxsel.Scorer) it memoizes the dense score
+// vector, which subsumes the mined metapaths — a warm hit serves any
+// context size with zero mining or walking. Other selectors memoize the
+// ranked context per (query, k). Queries with duplicate nodes bypass the
+// cache (see qcache.Key).
+type cachedSelector struct {
+	e     *Engine
+	inner ctxsel.Selector
+}
+
+// Name implements ctxsel.Selector.
+func (cs cachedSelector) Name() string { return cs.inner.Name() }
+
+// Select implements ctxsel.Selector.
+func (cs cachedSelector) Select(g *kg.Graph, query []NodeID, k int) []topk.Item {
+	prefix := fmt.Sprintf("%s|w%d|s%d", cs.inner.Name(), cs.e.opt.Walks, cs.e.opt.Seed)
+	if scorer, ok := cs.inner.(ctxsel.Scorer); ok {
+		key, cacheable := qcache.Key(prefix, query)
+		if !cacheable {
+			return cs.inner.Select(g, query, k)
+		}
+		if v, hit := cs.e.cache.Get(key); hit {
+			return ctxsel.TopKFromScores(v.([]float64), query, k)
+		}
+		scores := scorer.Scores(g, query)
+		cs.e.cache.Put(key, scores)
+		return ctxsel.TopKFromScores(scores, query, k)
+	}
+	key, cacheable := qcache.Key(fmt.Sprintf("%s|k%d", prefix, k), query)
+	if !cacheable {
+		return cs.inner.Select(g, query, k)
+	}
+	// Contexts are cached as private copies: callers own (and may mutate)
+	// every slice they receive, matching the uncached selectors.
+	if v, hit := cs.e.cache.Get(key); hit {
+		return append([]topk.Item(nil), v.([]topk.Item)...)
+	}
+	items := cs.inner.Select(g, query, k)
+	cs.e.cache.Put(key, append([]topk.Item(nil), items...))
+	return items
+}
+
+// cachedSelectorFor wraps sel with the engine cache unless caching is
+// disabled.
+func (e *Engine) cachedSelectorFor(sel ctxsel.Selector) ctxsel.Selector {
+	if e.cache == nil {
+		return sel
+	}
+	return cachedSelector{e: e, inner: sel}
+}
+
 // coreOptions translates the facade options.
 func (e *Engine) coreOptions() core.Options {
 	policy := dist.UnseenStrict
@@ -155,7 +227,7 @@ func (e *Engine) coreOptions() core.Options {
 	}
 	return core.Options{
 		ContextSize: e.opt.ContextSize,
-		Selector:    e.selector(),
+		Selector:    e.cachedSelectorFor(e.selector()),
 		Test:        stats.Multinomial{Alpha: e.opt.Alpha, Seed: e.opt.Seed},
 		SkipInverse: !e.opt.IncludeInverse,
 		Policy:      policy,
@@ -183,7 +255,7 @@ func (e *Engine) SearchNames(names ...string) (Result, error) {
 
 // Context returns only the top-k similar nodes for a query.
 func (e *Engine) Context(query []NodeID, k int) []ContextItem {
-	return e.selector().Select(e.g, query, k)
+	return e.cachedSelectorFor(e.selector()).Select(e.g, query, k)
 }
 
 // Compare runs only the distribution-comparison stage against an explicit

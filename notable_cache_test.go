@@ -1,0 +1,185 @@
+package notable
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kg"
+	"repro/internal/qcache"
+	"repro/internal/topk"
+)
+
+// countingSelector is a score-based selector that counts how often its
+// scoring pass actually runs — the observable for "a warm cache does zero
+// mining and walking".
+type countingSelector struct {
+	scoreCalls  *int
+	selectCalls *int
+}
+
+func (c countingSelector) Name() string { return "counting" }
+
+func (c countingSelector) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
+	*c.scoreCalls++
+	scores := make([]float64, g.NumNodes())
+	for i := range scores {
+		scores[i] = float64(i + 1)
+	}
+	return scores
+}
+
+func (c countingSelector) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	*c.selectCalls++
+	return nil
+}
+
+func TestCachedSelectorRunsScoringOnce(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{})
+	query, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreCalls, selectCalls := 0, 0
+	cs := e.cachedSelectorFor(countingSelector{&scoreCalls, &selectCalls})
+	a := cs.Select(g, query, 5)
+	b := cs.Select(g, query, 5)
+	// Permuted queries canonicalize to the same entry.
+	c := cs.Select(g, []NodeID{query[1], query[0]}, 5)
+	if scoreCalls != 1 {
+		t.Fatalf("scoring ran %d times across three selects, want 1", scoreCalls)
+	}
+	if selectCalls != 0 {
+		t.Fatal("score-based selector's Select should never run under the cache")
+	}
+	if len(a) != 5 || len(b) != 5 || len(c) != 5 {
+		t.Fatalf("select sizes: %d %d %d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cached select differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different k reuses the cached score vector too.
+	if d := cs.Select(g, query, 3); len(d) != 3 || scoreCalls != 1 {
+		t.Fatalf("k=3 select: len %d, scoring ran %d times", len(d), scoreCalls)
+	}
+	if st := e.CacheStats(); st.Hits < 3 || st.Misses < 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
+
+func TestCachedSelectorBypassesDuplicateQueries(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{})
+	query, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := []NodeID{query[0], query[0], query[1]}
+	scoreCalls, selectCalls := 0, 0
+	cs := e.cachedSelectorFor(countingSelector{&scoreCalls, &selectCalls})
+	cs.Select(g, dup, 5)
+	cs.Select(g, dup, 5)
+	if scoreCalls != 0 || selectCalls != 2 {
+		t.Fatalf("duplicate-node query must bypass the cache: scores=%d selects=%d",
+			scoreCalls, selectCalls)
+	}
+}
+
+func TestEngineSearchCachedMatchesUncached(t *testing.T) {
+	g := buildLeaders()
+	opt := Options{ContextSize: 8, Walks: 20000, Seed: 3}
+	cached := NewEngine(g, opt)
+	optOff := opt
+	optOff.CacheSize = -1
+	uncached := NewEngine(g, optOff)
+
+	warm, err := cached.SearchNames("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := cached.SearchNames("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := uncached.SearchNames("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]Result{"warm-hit": hit, "cache-off": cold} {
+		if len(res.Context) != len(warm.Context) {
+			t.Fatalf("%s context size %d vs %d", name, len(res.Context), len(warm.Context))
+		}
+		for i := range warm.Context {
+			if res.Context[i] != warm.Context[i] {
+				t.Fatalf("%s context differs at %d", name, i)
+			}
+		}
+		if len(res.Characteristics) != len(warm.Characteristics) {
+			t.Fatalf("%s characteristic count differs", name)
+		}
+		for i := range warm.Characteristics {
+			a, b := warm.Characteristics[i], res.Characteristics[i]
+			if a.Name != b.Name || a.Score != b.Score || a.InstP != b.InstP || a.CardP != b.CardP {
+				t.Fatalf("%s characteristic %d differs: %+v vs %+v", name, i, a, b)
+			}
+		}
+	}
+	st := cached.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected one miss then hits, got %+v", st)
+	}
+	if off := uncached.CacheStats(); off != (qcache.Stats{}) {
+		t.Fatalf("disabled cache reports %+v", off)
+	}
+}
+
+func TestEngineContextSharesCacheWithSearch(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{ContextSize: 8, Walks: 20000, Seed: 3})
+	query, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search(query); err != nil {
+		t.Fatal(err)
+	}
+	before := e.CacheStats()
+	ctx := e.Context(query, 4)
+	if len(ctx) == 0 {
+		t.Fatal("empty context")
+	}
+	after := e.CacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("Context did not hit the Search-warmed cache: %+v -> %+v", before, after)
+	}
+}
+
+// BenchmarkEngineCachedSearch measures repeated Engine.Search on the
+// half-scale YAGO-like graph: the warm path (default cache) skips mining
+// and walking entirely, the cold path (cache disabled) repeats them every
+// query.
+func BenchmarkEngineCachedSearch(b *testing.B) {
+	ds := gen.YAGOLike(gen.YAGOConfig{Seed: 42, Scale: 0.5})
+	names := gen.Table1["actors"][:5]
+	run := func(b *testing.B, cacheSize int) {
+		engine := NewEngine(ds.Graph, Options{
+			ContextSize: 100,
+			Walks:       60000,
+			Seed:        42,
+			CacheSize:   cacheSize,
+		})
+		if _, err := engine.SearchNames(names...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.SearchNames(names...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("warm", func(b *testing.B) { run(b, 0) })
+	b.Run("cold", func(b *testing.B) { run(b, -1) })
+}

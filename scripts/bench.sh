@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path micro-benchmarks, record them, and compare
+# against the committed baseline.
+#
+# Usage:
+#   scripts/bench.sh            run, write benchmarks/latest.txt, compare
+#   scripts/bench.sh --rebase   additionally overwrite benchmarks/baseline.txt
+#
+# The comparison fails (exit 1) when any benchmark present in both files
+# regresses by more than REGRESSION_FACTOR in ns/op, or allocates more
+# allocs/op than the baseline. Machines differ; the baseline is a guard
+# against order-of-magnitude regressions, not a calibrated SLO — rebase it
+# when landing intentional performance changes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REGRESSION_FACTOR="${REGRESSION_FACTOR:-1.5}"
+BENCH_PATTERN='BenchmarkPersonalizedYago|BenchmarkPersonalizedSumYago|BenchmarkScoresWithPaths|BenchmarkEngineCachedSearch'
+BENCH_PKGS="./internal/ppr/ ./internal/ctxsel/ ."
+BENCH_TIME="${BENCH_TIME:-2x}"
+
+mkdir -p benchmarks
+
+echo "running benchmarks (pattern: ${BENCH_PATTERN}, benchtime: ${BENCH_TIME})..."
+go test -run '^$' -bench "${BENCH_PATTERN}" -benchmem -benchtime "${BENCH_TIME}" \
+    ${BENCH_PKGS} | tee benchmarks/latest.txt
+
+if [[ "${1:-}" == "--rebase" ]]; then
+    cp benchmarks/latest.txt benchmarks/baseline.txt
+    echo "baseline rebased."
+fi
+
+if [[ ! -f benchmarks/baseline.txt ]]; then
+    echo "no benchmarks/baseline.txt; run scripts/bench.sh --rebase to create one." >&2
+    exit 0
+fi
+
+echo
+echo "comparing against benchmarks/baseline.txt (regression factor ${REGRESSION_FACTOR})..."
+awk -v factor="${REGRESSION_FACTOR}" '
+    # Benchmark lines look like:
+    #   BenchmarkName-8   123   456789 ns/op   1234 B/op   5 allocs/op
+    function record(file, name, ns, allocs) {
+        if (file == "baseline") { base_ns[name] = ns; base_allocs[name] = allocs }
+        else { cur_ns[name] = ns; cur_allocs[name] = allocs }
+    }
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns = ""; allocs = ""
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op") ns = $i
+            if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        if (ns != "") record(FILENAME == ARGV[1] ? "baseline" : "latest", name, ns + 0, allocs + 0)
+    }
+    END {
+        fails = 0
+        for (name in cur_ns) {
+            if (!(name in base_ns)) continue
+            if (cur_ns[name] > base_ns[name] * factor) {
+                printf "REGRESSION %s: %.0f ns/op vs baseline %.0f (>%gx)\n",
+                    name, cur_ns[name], base_ns[name], factor
+                fails++
+            }
+            if (cur_allocs[name] > base_allocs[name]) {
+                printf "REGRESSION %s: %d allocs/op vs baseline %d\n",
+                    name, cur_allocs[name], base_allocs[name]
+                fails++
+            }
+            printf "ok %s: %.0f ns/op (baseline %.0f), %d allocs/op (baseline %d)\n",
+                name, cur_ns[name], base_ns[name], cur_allocs[name], base_allocs[name]
+        }
+        if (fails > 0) { print fails " regression(s)"; exit 1 }
+    }
+' benchmarks/baseline.txt benchmarks/latest.txt
