@@ -9,17 +9,23 @@
 //  3. A label is notable iff either test rejects at the significance
 //     level; its score is δ = max(δ_Inst, δ_Card) ∈ (0.95, 1].
 //
-// Labels are tested concurrently; results are deterministic for a fixed
-// seed because every randomized component takes an explicit seed.
+// Labels are tested concurrently on a bounded worker pool (optionally
+// memoized through Options.TestCache); results are deterministic for a
+// fixed seed because every randomized component takes an explicit seed
+// and each label's record lands at a fixed slot before the final sort.
 package core
 
 import (
+	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ctxsel"
 	"repro/internal/dist"
 	"repro/internal/kg"
+	"repro/internal/qcache"
 	"repro/internal/stats"
 	"repro/internal/topk"
 )
@@ -83,10 +89,22 @@ type Options struct {
 	// Policy controls how query-only instance values are treated; see
 	// dist.UnseenPolicy. Default UnseenStrict (the paper's formula).
 	Policy dist.UnseenPolicy
-	// Parallelism bounds concurrent label tests; 0 means 4.
+	// Parallelism bounds concurrent label tests; 0 means 4. CompareSets
+	// runs a fixed pool of exactly min(Parallelism, len(labels)) worker
+	// goroutines — never one per label.
 	Parallelism int
 	// Seed drives every randomized component.
 	Seed int64
+	// TestCache, when non-nil, memoizes per-label Characteristic records
+	// across CompareSets calls, keyed on (label, query multiset, ranked
+	// context, test options, policy). A warm hit skips distribution
+	// building and the multinomial test outright. The cached master
+	// record is private to the cache: every result handed to a caller
+	// carries freshly cloned distribution slices, so callers own and may
+	// mutate what they receive, cached or not. Keys do not embed graph
+	// identity: a cache must serve exactly one graph (the engine owns one
+	// per graph).
+	TestCache *qcache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -156,9 +174,19 @@ func FindNC(g *kg.Graph, query []kg.NodeID, opt Options) Result {
 	return res
 }
 
+// testLabelHook, when non-nil, runs at the start of every label task — a
+// test seam for asserting the pool's concurrency bound.
+var testLabelHook func()
+
 // CompareSets runs only the distribution-comparison stage (Section 3.2)
 // against an explicit context — used by FindNC, by experiments that reuse
 // one context across parameter sweeps, and by the RWMult baseline.
+//
+// Labels are drained from a shared counter by a fixed pool of
+// min(Parallelism, len(labels)) workers, each reusing its own
+// distribution and test scratch across labels. Results land at fixed
+// per-label slots before the final sort, so the output is deterministic
+// for every worker count.
 func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Characteristic {
 	opt = opt.withDefaults()
 	both := make([]kg.NodeID, 0, len(query)+len(context))
@@ -175,18 +203,43 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 		labels = kept
 	}
 
-	out := make([]Characteristic, len(labels))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
-	for i, l := range labels {
-		wg.Add(1)
-		go func(i int, l kg.LabelID) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = testLabel(g, l, query, context, opt.Test, opt.Policy)
-		}(i, l)
+	var keyBase string
+	if opt.TestCache != nil {
+		keyBase = testKeyBase(query, context, opt)
 	}
+	out := make([]Characteristic, len(labels))
+	var next atomic.Int64
+	run := func() {
+		// Each worker claims the next untested label until none remain,
+		// reusing one scratch for its whole run.
+		var s labelScratch
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(labels) {
+				return
+			}
+			if testLabelHook != nil {
+				testLabelHook()
+			}
+			out[i] = testLabelCached(g, labels[i], query, context, opt, keyBase, &s)
+		}
+	}
+	workers := opt.Parallelism
+	if workers > len(labels) {
+		workers = len(labels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller is worker zero
 	wg.Wait()
 
 	sort.Slice(out, func(i, j int) bool {
@@ -210,19 +263,71 @@ func minP(c Characteristic) float64 {
 	return c.CardP
 }
 
+// labelScratch carries one worker's reusable buffers across labels: the
+// distribution builder's lookup state, the multinomial test's enumeration
+// and sampling buffers, and the float conversion buffer of the
+// cardinality π.
+type labelScratch struct {
+	dist   dist.Scratch
+	test   stats.Scratch
+	cardPi []float64
+}
+
+// testKeyBase builds the cache-key prefix shared by every label of one
+// CompareSets call: the query as a sorted multiset (counting is
+// order-independent but multiplicity-sensitive), the ranked context
+// hashed compactly, and every option that can change a test outcome.
+// opt must already carry defaults.
+func testKeyBase(query, context []kg.NodeID, opt Options) string {
+	prefix := fmt.Sprintf("mt|a%v|el%d|mc%d|s%d|pol%d|c%x",
+		opt.Test.Alpha, opt.Test.ExactLimit, opt.Test.Samples, opt.Test.Seed,
+		opt.Policy, qcache.HashIDs(context))
+	return qcache.MultisetKey(prefix, query)
+}
+
+// testLabelCached consults opt.TestCache around testLabel. The stored
+// master record is never handed out: hits and misses alike return a
+// record with private distribution slices, preserving the uncached
+// contract that callers own (and may mutate) everything they receive.
+func testLabelCached(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, opt Options, keyBase string, s *labelScratch) Characteristic {
+	if opt.TestCache == nil {
+		return testLabel(g, l, query, context, opt.Test, opt.Policy, s)
+	}
+	key := keyBase + "|l" + strconv.FormatUint(uint64(l), 10)
+	if v, ok := opt.TestCache.Get(key); ok {
+		return v.(Characteristic).clone()
+	}
+	c := testLabel(g, l, query, context, opt.Test, opt.Policy, s)
+	opt.TestCache.Put(key, c)
+	return c.clone()
+}
+
+// clone copies the record's distribution slices so the returned value
+// shares nothing mutable with the cached master.
+func (c Characteristic) clone() Characteristic {
+	c.Inst.Values = append([]kg.NodeID(nil), c.Inst.Values...)
+	c.Inst.Query = append([]int(nil), c.Inst.Query...)
+	c.Inst.Context = append([]int(nil), c.Inst.Context...)
+	c.Card.Query = append([]int(nil), c.Card.Query...)
+	c.Card.Context = append([]int(nil), c.Card.Context...)
+	return c
+}
+
 // testLabel builds both distributions for l and applies the multinomial
 // test to each, combining scores per Eq. 3.
-func testLabel(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, test stats.Multinomial, policy dist.UnseenPolicy) Characteristic {
+func testLabel(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, test stats.Multinomial, policy dist.UnseenPolicy, s *labelScratch) Characteristic {
 	c := Characteristic{Label: l, Name: g.LabelName(l)}
-	c.Inst = dist.Instances(g, l, query, context)
+	c.Inst = dist.InstancesScratch(g, l, query, context, &s.dist)
 	c.Card = dist.Cardinalities(g, l, query, context)
 
-	instCtx, instObs := c.Inst.TestVectors(policy)
-	instRes := test.Test(stats.Normalize(instCtx), instObs)
+	// The raw count vectors go straight to the test, which normalizes π
+	// internally; the observation vectors are only read.
+	instCtx, instObs := c.Inst.TestVectorsScratch(policy, &s.dist)
+	instRes := test.TestScratch(instCtx, instObs, &s.test)
 	c.InstP = instRes.P
 
-	cardPi := stats.Normalize(dist.ContextFloats(c.Card.Context))
-	cardRes := test.Test(cardPi, c.Card.Query)
+	s.cardPi = dist.ContextFloatsInto(s.cardPi[:0], c.Card.Context)
+	cardRes := test.TestScratch(s.cardPi, c.Card.Query, &s.test)
 	c.CardP = cardRes.P
 
 	alpha := test.Alpha

@@ -42,6 +42,16 @@ const (
 // NoneIndex is the category index reserved for nodes without the label.
 const NoneIndex = 0
 
+// Scratch holds reusable buffers for repeated distribution building — one
+// per worker of core's comparison pool. The zero value is ready; buffers
+// grow to the largest label seen and are reused across calls. A Scratch
+// must not be shared between concurrent builders.
+type Scratch struct {
+	index map[kg.NodeID]int // value → category, cleared per label
+	pi    []float64         // test-vector π buffer
+	obs   []int             // pooled-policy observation buffer
+}
+
 // Instance is the instance (value) distribution of one label over the
 // query and context sets. Categories are indexed 0..NumCategories-1:
 // index NoneIndex counts nodes with no l-edge, and index i ≥ 1 counts
@@ -74,15 +84,28 @@ func (d Instance) CategoryName(g *kg.Graph, i int) string {
 // policy. Under UnseenPooled the returned vectors cover the kept
 // categories (None plus values with at least two owners) followed by one
 // pooled category summing the idiosyncratic values; under UnseenStrict
-// they alias the distribution's own count slices.
+// they alias the distribution's own count slices. Both policies return π
+// and the observation with equal lengths — Query and Context share one
+// category space by construction, so the vectors cannot diverge (pinned
+// by TestTestVectorsAlwaysAligned).
 func (d Instance) TestVectors(policy UnseenPolicy) ([]float64, []int) {
-	if policy != UnseenPooled {
-		return ContextFloats(d.Context), d.Query
+	return d.TestVectorsScratch(policy, nil)
+}
+
+// TestVectorsScratch is TestVectors building π (and, under UnseenPooled,
+// the observation) into s's reusable buffers. The returned slices are
+// valid until the next call with the same Scratch; s may be nil, which
+// allocates freshly.
+func (d Instance) TestVectorsScratch(policy UnseenPolicy, s *Scratch) ([]float64, []int) {
+	if s == nil {
+		s = &Scratch{}
 	}
-	pi := make([]float64, 0, len(d.Context)+1)
-	obs := make([]int, 0, len(d.Query)+1)
-	pi = append(pi, float64(d.Context[NoneIndex]))
-	obs = append(obs, d.Query[NoneIndex])
+	if policy != UnseenPooled {
+		s.pi = ContextFloatsInto(s.pi[:0], d.Context)
+		return s.pi, d.Query
+	}
+	pi := append(s.pi[:0], float64(d.Context[NoneIndex]))
+	obs := append(s.obs[:0], d.Query[NoneIndex])
 	pooledCtx, pooledObs, pooled := 0, 0, false
 	for i := 1; i < len(d.Query); i++ {
 		if d.Query[i]+d.Context[i] <= 1 {
@@ -98,6 +121,7 @@ func (d Instance) TestVectors(policy UnseenPolicy) ([]float64, []int) {
 		pi = append(pi, float64(pooledCtx))
 		obs = append(obs, pooledObs)
 	}
+	s.pi, s.obs = pi, obs
 	return pi, obs
 }
 
@@ -105,7 +129,24 @@ func (d Instance) TestVectors(policy UnseenPolicy) ([]float64, []int) {
 // and context node sets. Each node contributes one count per distinct
 // l-edge value, or one None count if it has no l-edge.
 func Instances(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID) Instance {
-	index := make(map[kg.NodeID]int)
+	return InstancesScratch(g, l, query, context, nil)
+}
+
+// InstancesScratch is Instances reusing s's category-index map across
+// calls — the dominant allocation when testing many labels over one node
+// set. The returned Instance owns fresh count and value slices either
+// way; only internal lookup state is recycled. s may be nil.
+func InstancesScratch(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, s *Scratch) Instance {
+	var index map[kg.NodeID]int
+	if s != nil {
+		if s.index == nil {
+			s.index = make(map[kg.NodeID]int)
+		}
+		clear(s.index)
+		index = s.index
+	} else {
+		index = make(map[kg.NodeID]int)
+	}
 	var values []kg.NodeID
 	for _, set := range [][]kg.NodeID{query, context} {
 		for _, n := range set {
@@ -181,9 +222,14 @@ func Cardinalities(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID) Cardin
 
 // ContextFloats converts a count vector to float64 for the stats package.
 func ContextFloats(counts []int) []float64 {
-	out := make([]float64, len(counts))
-	for i, c := range counts {
-		out[i] = float64(c)
+	return ContextFloatsInto(make([]float64, 0, len(counts)), counts)
+}
+
+// ContextFloatsInto appends the float64 form of counts to dst and returns
+// the extended slice — pass dst[:0] to reuse a scratch buffer.
+func ContextFloatsInto(dst []float64, counts []int) []float64 {
+	for _, c := range counts {
+		dst = append(dst, float64(c))
 	}
-	return out
+	return dst
 }

@@ -1,5 +1,10 @@
 package kg
 
+import (
+	"sort"
+	"sync"
+)
+
 // TransitionCSR is the informativeness-weighted transition matrix of Eq. 1
 // in compressed sparse row form: one probability per edge, laid out in the
 // exact order of the graph's CSR edge slice, so that Probs(n)[i] is the
@@ -96,10 +101,20 @@ func (t *TransitionCSR) Probs(n NodeID) []float64 {
 // stream linearly, and only the reads of p are random. next must have at
 // least NumNodes entries.
 func (t *TransitionCSR) GatherStep(next, p []float64, c float64) (dangling float64) {
-	n := t.g.NumNodes()
-	next = next[:n]
-	lo := int(t.tOff[0])
-	for x := 0; x < n; x++ {
+	t.gatherRows(next, p, c, 0, t.g.NumNodes())
+	for _, d := range t.dangling {
+		dangling += p[d]
+	}
+	return dangling
+}
+
+// gatherRows computes next[rowLo:rowHi) of one gather step: the row range
+// is the unit of parallelism, and every row is produced entirely by one
+// call, so any partition of [0, n) yields the same bits as a full serial
+// sweep.
+func (t *TransitionCSR) gatherRows(next, p []float64, c float64, rowLo, rowHi int) {
+	lo := int(t.tOff[rowLo])
+	for x := rowLo; x < rowHi; x++ {
 		hi := int(t.tOff[x+1])
 		row := t.tFrom[lo:hi]
 		pr := t.tProb[lo:hi:hi][:len(row)]
@@ -119,6 +134,59 @@ func (t *TransitionCSR) GatherStep(next, p []float64, c float64) (dangling float
 		next[x] = c * ((acc0 + acc1) + (acc2 + acc3))
 		lo = hi
 	}
+}
+
+// parallelGatherMinEdges is the edge count below which GatherStepParallel
+// runs serially: a full gather over fewer edges completes in tens of
+// microseconds, comparable to the cost of scheduling the workers.
+const parallelGatherMinEdges = 1 << 14
+
+// GatherStepParallel is GatherStep with rows partitioned over up to
+// workers goroutines (including the calling one). Rows are independent —
+// each next[x] is written by exactly one worker, and the dangling sum is
+// accumulated serially — so the result is bitwise identical to the serial
+// GatherStep for every worker count. Partitions balance in-edge counts
+// via the transpose offsets, not row counts, so one hub-heavy shard
+// cannot serialize the step. workers <= 1 (or a small graph) degrades to
+// the serial kernel.
+func (t *TransitionCSR) GatherStepParallel(next, p []float64, c float64, workers int) (dangling float64) {
+	n := t.g.NumNodes()
+	edges := int64(len(t.tFrom))
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || edges < parallelGatherMinEdges {
+		return t.GatherStep(next, p, c)
+	}
+	var wg sync.WaitGroup
+	prev := 0
+	for w := 1; w <= workers; w++ {
+		bound := n
+		if w < workers {
+			// Shard w ends at the first row starting at or beyond the next
+			// equal-edge boundary.
+			target := edges * int64(w) / int64(workers)
+			bound = sort.Search(n, func(r int) bool { return t.tOff[r] >= target })
+			if bound < prev {
+				bound = prev
+			}
+		}
+		if bound == prev {
+			continue
+		}
+		lo, hi := prev, bound
+		prev = bound
+		if w == workers {
+			t.gatherRows(next, p, c, lo, hi) // last shard runs on the caller
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.gatherRows(next, p, c, lo, hi)
+		}()
+	}
+	wg.Wait()
 	for _, d := range t.dangling {
 		dangling += p[d]
 	}

@@ -3,6 +3,7 @@ package kg
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -87,6 +88,76 @@ func TestGatherStepMatchesScatter(t *testing.T) {
 			t.Fatalf("trial %d dangling: %v vs %v", trial, danglingGather, danglingScatter)
 		}
 	}
+}
+
+// TestGatherStepParallelBitwiseIdentical: every row of next is produced
+// entirely by one worker and the dangling sum is accumulated serially, so
+// the parallel gather must reproduce the serial kernel bit for bit at any
+// worker count — above and below the serial-fallback threshold.
+func TestGatherStepParallelBitwiseIdentical(t *testing.T) {
+	shapes := []struct{ nodes, edges int }{
+		{60, 300},     // below parallelGatherMinEdges: falls back to serial
+		{3000, 12000}, // builder inverses put this just above the threshold
+		{5000, 40000}, // comfortably parallel
+	}
+	for _, sh := range shapes {
+		g := transitionGraph(11, sh.nodes, sh.edges)
+		tr := g.Transitions()
+		n := g.NumNodes()
+		rng := rand.New(rand.NewSource(7))
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		const c = 0.8
+		want := make([]float64, n)
+		wantDangling := tr.GatherStep(want, p, c)
+		for _, workers := range []int{1, 2, 3, 4, 7, 8, 16, n + 1} {
+			next := make([]float64, n)
+			for i := range next {
+				next[i] = -1 // stale garbage every shard must overwrite
+			}
+			dangling := tr.GatherStepParallel(next, p, c, workers)
+			if dangling != wantDangling {
+				t.Fatalf("%d nodes, workers=%d: dangling %v != %v",
+					sh.nodes, workers, dangling, wantDangling)
+			}
+			for i := range want {
+				if next[i] != want[i] {
+					t.Fatalf("%d nodes, workers=%d: row %d = %v, serial %v",
+						sh.nodes, workers, i, next[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGatherStep measures the dense gather kernel serial vs
+// row-partitioned parallel on a graph big enough to clear the fallback
+// threshold.
+func BenchmarkGatherStep(b *testing.B) {
+	g := transitionGraph(42, 20000, 200000)
+	tr := g.Transitions()
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(1))
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	next := make([]float64, n)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.GatherStep(next, p, 0.8)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			tr.GatherStepParallel(next, p, 0.8, workers)
+		}
+	})
 }
 
 func TestGatherStepOverwritesStaleNext(t *testing.T) {

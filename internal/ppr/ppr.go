@@ -22,14 +22,17 @@
 // tiny fraction of V. The power iteration therefore starts by tracking a
 // sparse frontier (the touched-node list of the current vector) instead
 // of scanning all n nodes, and switches one-way to flat dense sweeps
-// (kg.TransitionCSR.DenseStep) once the frontier saturates past
-// NumNodes/denseSwitchDivisor, where frontier bookkeeping costs more than
-// it saves. Both regimes read per-edge transition probabilities from the
-// graph's precomputed kg.TransitionCSR rather than recomputing w(l)/wdeg
-// per edge per iteration, and the teleport term is applied sparsely over
-// the seeds. Scratch vectors are recycled through a sync.Pool and cleared
-// sparsely, so a steady-state Personalized call allocates only its result
-// slice.
+// (kg.TransitionCSR.GatherStep) once the frontier saturates past
+// NumNodes/denseSwitchDivisor (see that constant for the crossover
+// rationale), where frontier bookkeeping costs more than it saves. The
+// saturated gather runs row-partitioned over Options.Parallelism workers
+// — rows are independent, so every worker count produces bitwise
+// identical vectors. Both regimes read per-edge transition probabilities
+// from the graph's precomputed kg.TransitionCSR rather than recomputing
+// w(l)/wdeg per edge per iteration, and the teleport term is applied
+// sparsely over the seeds. Scratch vectors are recycled through a
+// sync.Pool and cleared sparsely, so a steady-state Personalized call
+// allocates only its result slice.
 //
 // PersonalizedSum processes seeds in blocks on a bounded worker pool:
 // memory is O(workers·n) rather than O(seeds·n), and per-seed vectors are
@@ -57,10 +60,16 @@ type Options struct {
 	// Uniform disables informativeness weighting and walks uniformly over
 	// out-edges — the ablation of Eq. 1's weighting.
 	Uniform bool
-	// Parallelism bounds the worker pool of PersonalizedSum. 0 uses
-	// min(GOMAXPROCS, len(seeds)) workers. Results are identical for
-	// every setting.
+	// Parallelism bounds the total worker budget: PersonalizedSum's
+	// per-seed pool, and within each run the row-partitioned parallel
+	// gather of the saturated dense regime (seed workers × gather workers
+	// never exceeds it). 0 uses GOMAXPROCS. Results are bitwise identical
+	// for every setting.
 	Parallelism int
+
+	// gatherWorkers is the resolved per-run gather parallelism, set by the
+	// exported entry points before personalizedInto runs.
+	gatherWorkers int
 }
 
 // withDefaults fills unset fields with the paper's parameters.
@@ -178,7 +187,7 @@ func personalizedInto(g *kg.Graph, seeds []kg.NodeID, opt Options, ws *workspace
 			dangling = ws.uniformDenseSweep(g, p, next, c)
 		default:
 			// Gather overwrites next outright — no pre-zeroing needed.
-			dangling = tr.GatherStep(next, p, c)
+			dangling = tr.GatherStepParallel(next, p, c, opt.gatherWorkers)
 		}
 		// Teleport: restart mass plus mass stranded on dangling nodes,
 		// distributed over the personalization — only seeds are nonzero.
@@ -275,6 +284,10 @@ func (ws *workspace) uniformDenseSweep(g *kg.Graph, p, next []float64, c float64
 // The returned slice has one score per node.
 func Personalized(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	opt = opt.withDefaults()
+	opt.gatherWorkers = opt.Parallelism
+	if opt.gatherWorkers <= 0 {
+		opt.gatherWorkers = runtime.GOMAXPROCS(0)
+	}
 	n := g.NumNodes()
 	if n == 0 || len(seeds) == 0 {
 		return make([]float64, n)
@@ -319,13 +332,17 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	if n == 0 || len(seeds) == 0 {
 		return sum
 	}
-	workers := opt.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	budget := opt.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
 	}
+	workers := budget
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
+	// Cores left over by a small seed set go to the dense gather inside
+	// each run; seed workers × gather workers stays within the budget.
+	opt.gatherWorkers = budget / workers
 	wss := make([]*workspace, workers)
 	for i := range wss {
 		wss[i] = getWorkspace(n)

@@ -1,0 +1,8 @@
+//go:build race
+
+package ppr
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under it because sync.Pool deliberately bypasses
+// its caches in race builds.
+const raceEnabled = true

@@ -119,6 +119,39 @@ func TestPersonalizedSumParallelismIdentical(t *testing.T) {
 	}
 }
 
+// TestPersonalizedParallelGatherIdentical: Options.Parallelism also
+// drives the row-partitioned dense gather, which must leave results
+// bitwise identical for every worker count. The graph is sized past the
+// gather kernel's serial-fallback threshold and iterated enough to
+// saturate the frontier into the dense regime.
+func TestPersonalizedParallelGatherIdentical(t *testing.T) {
+	g := randomGraph(2000, 12000, 21)
+	seeds := []kg.NodeID{4, 9}
+	opt := Options{Iterations: 12}
+	opt.Parallelism = 1
+	want := Personalized(g, seeds, opt)
+	for _, par := range []int{2, 3, 5, 8, 0} {
+		opt.Parallelism = par
+		got := Personalized(g, seeds, opt)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Parallelism=%d differs at node %d: %v vs %v", par, i, got[i], want[i])
+			}
+		}
+	}
+	// The same holds through the multi-seed pool, where leftover budget
+	// flows to the gather.
+	wantSum := PersonalizedSum(g, seeds, Options{Iterations: 12, Parallelism: 1})
+	for _, par := range []int{2, 6, 0} {
+		got := PersonalizedSum(g, seeds, Options{Iterations: 12, Parallelism: par})
+		for i := range wantSum {
+			if got[i] != wantSum[i] {
+				t.Fatalf("Sum Parallelism=%d differs at node %d", par, i)
+			}
+		}
+	}
+}
+
 // TestPersonalizedConcurrentCallers: pooled workspaces must not be shared
 // between concurrent runs.
 func TestPersonalizedConcurrentCallers(t *testing.T) {
@@ -146,9 +179,15 @@ func TestPersonalizedConcurrentCallers(t *testing.T) {
 // TestPersonalizedAllocs: the sparse path allocates strictly less than the
 // dense seed implementation (which allocates its three n-vectors per call).
 func TestPersonalizedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its caches under the race detector; alloc counts are meaningless")
+	}
 	g := randomGraph(2000, 12000, 55)
 	seeds := []kg.NodeID{17}
-	opt := Options{}
+	// Parallelism 1 pins the serial kernels: this test audits the sparse
+	// path's allocation discipline, and parallel gather spends a closure
+	// allocation per extra worker per dense step by design.
+	opt := Options{Parallelism: 1}
 	g.Transitions() // exclude one-time CSR construction
 	Personalized(g, seeds, opt)
 	sparse := testing.AllocsPerRun(50, func() { Personalized(g, seeds, opt) })

@@ -151,3 +151,40 @@ func Key(prefix string, ids []uint32) (key string, ok bool) {
 	}
 	return string(b), true
 }
+
+// MultisetKey canonicalizes ids under prefix like Key, but keeps
+// duplicates: IDs are sorted ascending with multiplicity. The comparison
+// stage's per-label keys use it because distribution counting is
+// order-independent yet multiplicity-sensitive — a node listed twice
+// contributes its counts twice — so duplicate queries are perfectly
+// cacheable there, unlike in the selector layer.
+func MultisetKey(prefix string, ids []uint32) string {
+	sorted := make([]uint32, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b []byte
+	b = append(b, prefix...)
+	for _, id := range sorted {
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(id), 10)
+	}
+	return string(b)
+}
+
+// HashIDs returns the 64-bit FNV-1a hash of ids in order — a compact
+// stand-in for long ranked lists (a search's 100-node context) inside
+// cache keys, where embedding every ID would dwarf the rest of the key.
+func HashIDs(ids []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(id >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}

@@ -99,6 +99,48 @@ func TestKeyCanonicalization(t *testing.T) {
 	}
 }
 
+func TestMultisetKey(t *testing.T) {
+	// Permutations of one multiset share a key.
+	a := MultisetKey("p", []uint32{3, 1, 2})
+	b := MultisetKey("p", []uint32{2, 3, 1})
+	if a != b {
+		t.Fatalf("permutations key differently: %q vs %q", a, b)
+	}
+	// Duplicates are kept: a node listed twice is a different multiset.
+	dup := MultisetKey("p", []uint32{1, 2, 2, 3})
+	if dup == a {
+		t.Fatal("duplicate node collapsed into the deduplicated key")
+	}
+	if dup != MultisetKey("p", []uint32{2, 1, 3, 2}) {
+		t.Fatal("permuted duplicates key differently")
+	}
+	// Prefixes separate option spaces.
+	if MultisetKey("x", []uint32{1}) == MultisetKey("y", []uint32{1}) {
+		t.Fatal("prefix ignored")
+	}
+	// Concatenation ambiguity: {1, 23} vs {12, 3} must differ.
+	if MultisetKey("p", []uint32{1, 23}) == MultisetKey("p", []uint32{12, 3}) {
+		t.Fatal("adjacent IDs concatenate ambiguously")
+	}
+}
+
+func TestHashIDs(t *testing.T) {
+	a := HashIDs([]uint32{1, 2, 3})
+	if a != HashIDs([]uint32{1, 2, 3}) {
+		t.Fatal("hash not deterministic")
+	}
+	// Context hashes are order-sensitive: rank matters to callers.
+	if a == HashIDs([]uint32{3, 2, 1}) {
+		t.Fatal("hash ignored order")
+	}
+	if a == HashIDs([]uint32{1, 2}) {
+		t.Fatal("hash ignored a trailing element")
+	}
+	if HashIDs(nil) == a {
+		t.Fatal("empty hash collides with nonempty")
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	c := New(16)
 	var wg sync.WaitGroup

@@ -67,19 +67,56 @@ func (m Multinomial) withDefaults() Multinomial {
 const logProbTolerance = 1e-9
 
 // Test computes the significance probability of observation x under π.
-// π must be non-negative; it is normalized internally. x must be
-// non-negative with at least one positive entry; otherwise P = 1 (nothing
-// observed, nothing to reject).
+// π must be non-negative; it is normalized internally. An all-zero x
+// yields P = 1 (nothing observed, nothing to reject); a nonzero x under
+// an empty or all-zero π is impossible and yields P = 0 like any other
+// impossible observation.
 func (m Multinomial) Test(pi []float64, x []int) Result {
+	return m.TestScratch(pi, x, nil)
+}
+
+// Scratch holds the reusable buffers of one TestScratch caller — the
+// normalized probability vector plus the enumeration and sampling state.
+// The zero value is ready; buffers grow to the largest test seen and are
+// reused across calls. A Scratch must not be shared between concurrent
+// tests.
+type Scratch struct {
+	p      []float64
+	comp   []int
+	cdf    []float64
+	counts []int
+}
+
+// grow returns buf resized to length k, reallocating only when capacity
+// is insufficient. Contents are unspecified; callers overwrite fully.
+func grow[T int | float64](buf []T, k int) []T {
+	if cap(buf) < k {
+		return make([]T, k)
+	}
+	return buf[:k]
+}
+
+// TestScratch is Test with caller-owned scratch buffers: a worker testing
+// many labels in a row reuses one Scratch and allocates nothing on the
+// steady path. s may be nil, which allocates freshly (equivalent to Test).
+func (m Multinomial) TestScratch(pi []float64, x []int, s *Scratch) Result {
 	m = m.withDefaults()
+	if s == nil {
+		s = &Scratch{}
+	}
 	n := 0
 	for _, xi := range x {
 		n += xi
 	}
-	if n == 0 || len(pi) == 0 {
+	if n == 0 {
 		return Result{P: 1, Exact: true, LogProbX: 0}
 	}
-	p := normalizeProbs(pi, len(x))
+	// Note: len(pi) == 0 with a nonzero observation is NOT the trivial
+	// case — every observed category is impossible under an empty
+	// distribution, so normalizeProbs yields all zeros and the impossible
+	// branch below reports P = 0, maximal notability.
+	s.p = grow(s.p, len(x))
+	p := normalizeProbsInto(s.p, pi)
 
 	logX := logMultinomialProb(p, x, n)
 	if math.IsInf(logX, -1) {
@@ -90,9 +127,9 @@ func (m Multinomial) Test(pi []float64, x []int) Result {
 	}
 
 	if comps, ok := compositionsUpTo(n, len(x), m.ExactLimit); ok && comps <= m.ExactLimit {
-		return Result{P: m.exact(p, logX, n, len(x)), Exact: true, LogProbX: logX}
+		return Result{P: m.exact(p, logX, n, len(x), s), Exact: true, LogProbX: logX}
 	}
-	return Result{P: m.monteCarlo(p, logX, n), Exact: false, LogProbX: logX}
+	return Result{P: m.monteCarlo(p, logX, n, s), Exact: false, LogProbX: logX}
 }
 
 // Score is the MT score of the paper: 1 − Pr_s when the test rejects at
@@ -108,10 +145,11 @@ func (m Multinomial) Score(pi []float64, x []int) float64 {
 
 // exact enumerates every composition of n into k parts, accumulating the
 // probability of outcomes at most as likely as logX.
-func (m Multinomial) exact(p []float64, logX float64, n, k int) float64 {
+func (m Multinomial) exact(p []float64, logX float64, n, k int, s *Scratch) float64 {
 	logN := lgammaInt(n + 1)
 	total := 0.0
-	comp := make([]int, k)
+	s.comp = grow(s.comp, k)
+	comp := s.comp
 	var rec func(cat, remaining int, logAcc float64)
 	rec = func(cat, remaining int, logAcc float64) {
 		if cat == k-1 {
@@ -145,16 +183,18 @@ func (m Multinomial) exact(p []float64, logX float64, n, k int) float64 {
 // monteCarlo estimates Pr_s by sampling outcomes from Mult(n, p). The
 // standard +1 correction keeps the estimate strictly positive, matching
 // the convention that a Monte-Carlo p-value never claims impossibility.
-func (m Multinomial) monteCarlo(p []float64, logX float64, n int) float64 {
+func (m Multinomial) monteCarlo(p []float64, logX float64, n int, s *Scratch) float64 {
 	rng := rand.New(rand.NewSource(m.Seed))
-	cdf := make([]float64, len(p))
+	s.cdf = grow(s.cdf, len(p))
+	cdf := s.cdf
 	acc := 0.0
 	for i, pi := range p {
 		acc += pi
 		cdf[i] = acc
 	}
 	hits := 0
-	counts := make([]int, len(p))
+	s.counts = grow(s.counts, len(p))
+	counts := s.counts
 	for s := 0; s < m.Samples; s++ {
 		for i := range counts {
 			counts[i] = 0
@@ -223,12 +263,21 @@ func lgammaInt(n int) float64 {
 	return v
 }
 
-// normalizeProbs rescales pi to sum to 1 and pads/truncates to length k.
+// normalizeProbs rescales pi to sum to 1 and pads/truncates to length k:
+// categories of pi beyond k are dropped (their mass is renormalized away),
+// and missing trailing categories become zero-probability. The length of
+// the observation vector x is authoritative — see the pinning tests.
 func normalizeProbs(pi []float64, k int) []float64 {
-	out := make([]float64, k)
+	return normalizeProbsInto(make([]float64, k), pi)
+}
+
+// normalizeProbsInto is normalizeProbs writing into out (whose length is
+// the target k). Every entry of out is overwritten.
+func normalizeProbsInto(out, pi []float64) []float64 {
 	sum := 0.0
-	for i := 0; i < k && i < len(pi); i++ {
-		if pi[i] > 0 {
+	for i := range out {
+		out[i] = 0
+		if i < len(pi) && pi[i] > 0 {
 			out[i] = pi[i]
 			sum += pi[i]
 		}
@@ -274,7 +323,10 @@ func NormalizeInts(counts []int) []float64 {
 
 // compositionsUpTo returns C(n+k-1, k-1) — the number of ways to split n
 // observations over k categories — capped at limit. ok is false when the
-// value overflows the cap during computation (treated as "too many").
+// count exceeds the cap during computation or would overflow int; the
+// count returned alongside is then limit + 1, a sentinel strictly above
+// every admissible limit, so both return values consistently mean "too
+// many to enumerate".
 func compositionsUpTo(n, k, limit int) (int, bool) {
 	// Multiplicative binomial evaluation with early exit.
 	if k <= 1 {
@@ -289,8 +341,14 @@ func compositionsUpTo(n, k, limit int) (int, bool) {
 	for i := 1; i <= r; i++ {
 		res = res * float64(nn-r+i) / float64(i)
 		if res > float64(limit)*2 {
-			return limit + 1, true
+			return limit + 1, false
 		}
+	}
+	// float64(math.MaxInt) rounds up to 2^63, which does not fit back into
+	// int — anything at or past it must take the sentinel path rather than
+	// wrap negative in the conversion.
+	if res+0.5 >= float64(math.MaxInt) {
+		return limit + 1, false
 	}
 	return int(res + 0.5), true
 }

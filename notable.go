@@ -22,6 +22,22 @@
 //
 // Graphs can be built programmatically (NewBuilder), loaded from triple
 // files (LoadGraphFile), or restored from binary snapshots (ReadSnapshot).
+//
+// # Caching and determinism
+//
+// An Engine memoizes two layers of repeated work in one bounded LRU
+// (Options.CacheSize). The selector layer caches score vectors and ranked
+// contexts, so a warm query skips metapath mining and walking; the
+// comparison layer caches per-label test records, so a warm query also
+// skips distribution building and multinomial testing — a fully warm
+// repeated Search recomputes nothing but the top-k cut. CacheStats
+// exposes the hit/miss counters of both layers.
+//
+// Neither caching nor parallelism changes results: every randomized
+// component takes an explicit seed, label tests run on a bounded worker
+// pool writing to fixed per-label slots, and the dense PageRank gather is
+// row-partitioned, so every cache state and worker count produces
+// bitwise-identical output.
 package notable
 
 import (
@@ -100,16 +116,22 @@ type Options struct {
 	// Seed drives all randomized components (default 1).
 	Seed int64
 	// CacheSize bounds the engine's query cache: the number of memoized
-	// selector score vectors / contexts (see internal/qcache). 0 selects
+	// entries across both cache layers — selector score vectors/contexts,
+	// and per-label test records (see internal/qcache). 0 selects
 	// DefaultCacheSize; negative disables caching. Caching never changes
 	// results — every randomized component is seeded — it only skips
-	// repeated metapath mining and walking.
+	// repeated work: a warm repeat of a query skips metapath mining,
+	// walking, distribution building, and multinomial testing entirely.
 	CacheSize int
 }
 
 // DefaultCacheSize is the query-cache capacity used when Options.CacheSize
-// is zero.
-const DefaultCacheSize = 256
+// is zero. A warm query occupies one selector entry plus one entry per
+// tested label, so size CacheSize to roughly (hot queries) × (labels per
+// query + 1) — the default keeps a few hundred fully-warm queries on
+// typical label counts. (A byte-budgeted bound is a ROADMAP item; entry
+// sizes range from a per-label record to an n-float score vector.)
+const DefaultCacheSize = 4096
 
 // Engine runs searches against one graph. Create with NewEngine; safe for
 // concurrent use once constructed.
@@ -132,7 +154,11 @@ func NewEngine(g *Graph, opt Options) *Engine {
 	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.New(size)}
 }
 
-// CacheStats reports the query cache's hit/miss/eviction counters. A
+// CacheStats reports the query cache's hit/miss/eviction counters,
+// aggregated over both layers: the selector layer (one entry per query's
+// score vector or ranked context) and the comparison layer (one entry per
+// tested label). A fully warm repeated Search performs exactly one
+// selector hit plus one hit per tested label and zero misses. A
 // cache-disabled engine reports zeros.
 func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 
@@ -232,6 +258,7 @@ func (e *Engine) coreOptions() core.Options {
 		SkipInverse: !e.opt.IncludeInverse,
 		Policy:      policy,
 		Seed:        e.opt.Seed,
+		TestCache:   e.cache,
 	}
 }
 

@@ -156,11 +156,60 @@ func TestEngineContextSharesCacheWithSearch(t *testing.T) {
 	}
 }
 
-// BenchmarkEngineCachedSearch measures repeated Engine.Search on the
-// half-scale YAGO-like graph: the warm path (default cache) skips mining
-// and walking entirely, the cold path (cache disabled) repeats them every
-// query.
-func BenchmarkEngineCachedSearch(b *testing.B) {
+// TestEngineWarmSearchSkipsTestingStage: a warm repeated Search serves
+// the selector AND every label test from the cache — exactly one hit per
+// tested label plus one for the score vector, and zero new misses.
+func TestEngineWarmSearchSkipsTestingStage(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{ContextSize: 8, Walks: 20000, Seed: 3})
+	names := []string{"Angela Merkel", "Barack Obama"}
+	cold, err := e.SearchNames(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.CacheStats()
+	labels := uint64(len(cold.Characteristics))
+	if st.Misses != labels+1 || st.Hits != 0 {
+		t.Fatalf("cold search stats %+v, want %d misses (selector + labels), 0 hits",
+			st, labels+1)
+	}
+	warm, err := e.SearchNames(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.CacheStats()
+	if st2.Misses != st.Misses {
+		t.Fatalf("warm search recomputed something: %+v -> %+v", st, st2)
+	}
+	if st2.Hits != labels+1 {
+		t.Fatalf("warm search hits = %d, want %d (selector + every label)",
+			st2.Hits, labels+1)
+	}
+	for i := range cold.Characteristics {
+		a, b := cold.Characteristics[i], warm.Characteristics[i]
+		if a.Name != b.Name || a.Score != b.Score || a.InstP != b.InstP || a.CardP != b.CardP {
+			t.Fatalf("warm result differs at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	// Compare shares the memo: an explicit-context run against the same
+	// ranked context is fully warm too.
+	before := e.CacheStats()
+	query, err := e.Resolve(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Compare(query, cold.ContextIDs())
+	after := e.CacheStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("Compare against the searched context missed: %+v -> %+v", before, after)
+	}
+}
+
+// BenchmarkEngineWarmSearch measures repeated Engine.Search on the
+// half-scale YAGO-like graph: the warm path (default cache) skips mining,
+// walking, distribution building, and testing entirely; the cold path
+// (cache disabled) repeats all of them every query.
+func BenchmarkEngineWarmSearch(b *testing.B) {
 	ds := gen.YAGOLike(gen.YAGOConfig{Seed: 42, Scale: 0.5})
 	names := gen.Table1["actors"][:5]
 	run := func(b *testing.B, cacheSize int) {

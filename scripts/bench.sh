@@ -16,8 +16,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REGRESSION_FACTOR="${REGRESSION_FACTOR:-1.5}"
-BENCH_PATTERN='BenchmarkPersonalizedYago|BenchmarkPersonalizedSumYago|BenchmarkScoresWithPaths|BenchmarkEngineCachedSearch'
-BENCH_PKGS="./internal/ppr/ ./internal/ctxsel/ ."
+BENCH_PATTERN='BenchmarkPersonalizedYago|BenchmarkPersonalizedSumYago|BenchmarkScoresWithPaths|BenchmarkEngineWarmSearch|BenchmarkCompareSets$|BenchmarkGatherStep'
+BENCH_PKGS="./internal/ppr/ ./internal/ctxsel/ ./internal/kg/ ./internal/core/ ."
 BENCH_TIME="${BENCH_TIME:-2x}"
 
 mkdir -p benchmarks
