@@ -5,7 +5,7 @@
 //	ncbench -exp fig2,fig3,table2
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, table2, table3,
-// fig7, fig8, fig9, metrics, authors.
+// fig7, fig8, fig9, metrics, authors, batch.
 package main
 
 import (
@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro"
 	"repro/internal/dist"
 	"repro/internal/eval"
 	"repro/internal/gen"
@@ -208,5 +210,60 @@ func run(cfg eval.Config, need func(string) bool) error {
 		}
 		fmt.Println(ac.Render())
 	}
+	if need("batch") {
+		if err := printBatch(getYago(), cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printBatch times Engine.SearchBatch against sequential cold Search
+// calls on the actors profile sweep — every size-5 subset of the cohort,
+// the full set, and one truncation — and prints per-query latencies and
+// the batch speedup. Caches are disabled so each side pays the full cold
+// cost; results are bitwise identical by construction.
+func printBatch(d *gen.Dataset, cfg eval.Config) error {
+	fmt.Println("timing batched vs sequential cold search (yago-like/actors sweep) ...")
+	g := d.Graph
+	g.Transitions()
+	cohort, err := d.Scenario("actors").QueryIDs(g, 6)
+	if err != nil {
+		return err
+	}
+	var queries [][]notable.NodeID
+	for drop := 0; drop < len(cohort); drop++ {
+		q := make([]notable.NodeID, 0, len(cohort)-1)
+		for i, id := range cohort {
+			if i != drop {
+				q = append(q, id)
+			}
+		}
+		queries = append(queries, q)
+	}
+	queries = append(queries, cohort, cohort[:4])
+
+	e := notable.NewEngine(g, notable.Options{
+		ContextSize: 30,
+		Selector:    notable.SelectorRandomWalk,
+		Seed:        cfg.Seed,
+		CacheSize:   -1,
+	})
+	start := time.Now()
+	for _, q := range queries {
+		if _, err := e.Search(q); err != nil {
+			return err
+		}
+	}
+	seq := time.Since(start)
+	start = time.Now()
+	if _, err := e.SearchBatch(queries); err != nil {
+		return err
+	}
+	batch := time.Since(start)
+	nq := len(queries)
+	fmt.Printf("  sequential: %v total, %v/query\n", seq, seq/time.Duration(nq))
+	fmt.Printf("  batched:    %v total, %v/query\n", batch, batch/time.Duration(nq))
+	fmt.Printf("  speedup:    %.2fx over %d queries\n", float64(seq)/float64(batch), nq)
 	return nil
 }

@@ -3,18 +3,26 @@
 //
 //	ncsearch -dataset yago -q "Angela Merkel,Barack Obama" -k 100
 //	ncsearch -graph facts.tsv -q "Camera Alpha-7,Camera X-Pro9"
+//	ncsearch -dataset yago -queries sweep.txt -k 30
 //
 // The query is resolved against node names (fuzzy matching included), the
 // context is selected with ContextRW (or -selector randomwalk), and the
 // notable characteristics are printed with their scores and significance
 // probabilities.
+//
+// With -queries FILE, each non-empty line of FILE is one query
+// (comma-separated entity names, # starts a comment); the whole file runs
+// as one Engine.SearchBatch — amortizing graph traversal across the
+// queries — and per-query plus aggregate timing is reported.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/gen"
@@ -24,7 +32,8 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "triple file (.tsv/.nt) or snapshot (.kgsnap) to load")
 		dataset   = flag.String("dataset", "", "built-in dataset: yago | lmdb | authors | products | figure1")
-		queryStr  = flag.String("q", "", "comma-separated query entity names (required)")
+		queryStr  = flag.String("q", "", "comma-separated query entity names")
+		queryFile = flag.String("queries", "", "file with one query per line (comma-separated names): batch mode")
 		k         = flag.Int("k", 100, "context size |C|")
 		selector  = flag.String("selector", "contextrw", "context selector: contextrw | randomwalk | simrank | jaccard")
 		walks     = flag.Int("walks", 200000, "PathMining walk budget")
@@ -36,8 +45,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if *queryStr == "" {
-		fmt.Fprintln(os.Stderr, "ncsearch: -q is required (comma-separated entity names)")
+	if *queryStr == "" && *queryFile == "" {
+		fmt.Fprintln(os.Stderr, "ncsearch: -q or -queries is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -56,6 +65,14 @@ func main() {
 		Policy:      *policy,
 		Seed:        *seed,
 	})
+
+	if *queryFile != "" {
+		if err := runBatch(engine, g, *queryFile); err != nil {
+			fmt.Fprintln(os.Stderr, "ncsearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var names []string
 	for _, part := range strings.Split(*queryStr, ",") {
@@ -114,6 +131,72 @@ func main() {
 	if printed == 0 {
 		fmt.Println("  (none at this significance level; try -all to see every label)")
 	}
+}
+
+// runBatch reads one query per line from path, resolves every name, runs
+// the whole file as a single SearchBatch, and reports per-query results
+// with aggregate timing.
+func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var queries [][]notable.NodeID
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var names []string
+		for _, part := range strings.Split(line, ",") {
+			if s := strings.TrimSpace(part); s != "" {
+				names = append(names, s)
+			}
+		}
+		query, err := engine.Resolve(names...)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", line, err)
+		}
+		queries = append(queries, query)
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("%s: no queries", path)
+	}
+
+	start := time.Now()
+	results, err := engine.SearchBatch(queries)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	for i, res := range results {
+		notables := res.NotableOnly()
+		fmt.Printf("\n[%d] %s — %d context nodes, %d notable / %d tested\n",
+			i+1, lines[i], len(res.Context), len(notables), len(res.Characteristics))
+		for j, c := range notables {
+			if j >= 5 {
+				fmt.Printf("      ... %d more\n", len(notables)-j)
+				break
+			}
+			fmt.Printf("      %-24s score=%.4f via %s\n", c.Name, c.Score, c.Kind)
+		}
+	}
+	fmt.Printf("\nbatch of %d queries in %v — %v/query average",
+		len(queries), elapsed, elapsed/time.Duration(len(queries)))
+	if st := engine.CacheStats(); st.Hits+st.Misses > 0 {
+		fmt.Printf(" (cache: %d hits, %d misses, %d KiB resident)",
+			st.Hits, st.Misses, st.Bytes/1024)
+	}
+	fmt.Println()
+	return nil
 }
 
 func loadGraph(path, dataset string, seed int64) (*notable.Graph, error) {

@@ -19,11 +19,11 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/ctxsel"
 	"repro/internal/dist"
+	"repro/internal/exec"
 	"repro/internal/kg"
 	"repro/internal/qcache"
 	"repro/internal/stats"
@@ -174,6 +174,42 @@ func FindNC(g *kg.Graph, query []kg.NodeID, opt Options) Result {
 	return res
 }
 
+// FindNCBatch runs FindNC for every query in one batched pass. Context
+// selection goes through the selector's batch path when it has one
+// (ctxsel.BatchSelector, then ctxsel.SelectBatch's BatchScorer dispatch),
+// amortizing graph traversal across the batch; the comparison stages then
+// fan out per query through the shared executor, each an independent
+// CompareSets writing its own result slot. Results are identical to
+// calling FindNC per query — bitwise, when the selector's batch path is
+// (RandomWalk's is) — for every batch size and Parallelism setting.
+func FindNCBatch(g *kg.Graph, queries [][]kg.NodeID, opt Options) []Result {
+	opt = opt.withDefaults()
+	var contexts [][]topk.Item
+	if bs, ok := opt.Selector.(ctxsel.BatchSelector); ok {
+		contexts = bs.SelectBatch(g, queries, opt.ContextSize)
+	} else {
+		contexts = ctxsel.SelectBatch(g, opt.Selector, queries, opt.ContextSize)
+	}
+	results := make([]Result, len(queries))
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(queries) {
+				return
+			}
+			results[i] = Result{Query: queries[i], Context: contexts[i]}
+			results[i].Characteristics = CompareSets(g, queries[i], results[i].ContextIDs(), opt)
+		}
+	}
+	workers := opt.Parallelism
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	exec.RunWorkers(workers, run)
+	return results
+}
+
 // testLabelHook, when non-nil, runs at the start of every label task — a
 // test seam for asserting the pool's concurrency bound.
 var testLabelHook func()
@@ -228,19 +264,10 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 	if workers > len(labels) {
 		workers = len(labels)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for w := 1; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			run()
-		}()
-	}
-	run() // the caller is worker zero
-	wg.Wait()
+	// Extra workers come from the shared executor rather than fresh
+	// goroutines; a busy pool degrades toward serial execution on the
+	// caller, never past the Parallelism bound.
+	exec.RunWorkers(workers, run)
 
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -298,8 +325,17 @@ func testLabelCached(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, opt 
 		return v.(Characteristic).clone()
 	}
 	c := testLabel(g, l, query, context, opt.Test, opt.Policy, s)
-	opt.TestCache.Put(key, c)
+	opt.TestCache.PutSized(key, c, qcache.LayerTest, c.cacheFootprint()+int64(len(key)))
 	return c.clone()
+}
+
+// cacheFootprint estimates the record's resident bytes for the cache's
+// byte accounting: the fixed fields plus the distribution slices.
+func (c Characteristic) cacheFootprint() int64 {
+	const fixed = 160 // struct, string header, slice headers
+	return fixed + int64(len(c.Name)) +
+		4*int64(len(c.Inst.Values)) +
+		8*int64(len(c.Inst.Query)+len(c.Inst.Context)+len(c.Card.Query)+len(c.Card.Context))
 }
 
 // clone copies the record's distribution slices so the returned value

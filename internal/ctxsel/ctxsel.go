@@ -45,6 +45,44 @@ type Scorer interface {
 	Scores(g *kg.Graph, query []kg.NodeID) []float64
 }
 
+// BatchScorer is implemented by scorers with a batched scoring path that
+// amortizes graph traversal across queries. ScoresBatch must return
+// exactly what per-query Scores calls would — selectors whose batch path
+// is bitwise identical (RandomWalk via ppr.PersonalizedSumMulti) make the
+// whole batch pipeline's outputs identical to sequential searches.
+type BatchScorer interface {
+	Scorer
+	// ScoresBatch returns one score vector per query, in order.
+	ScoresBatch(g *kg.Graph, queries [][]kg.NodeID) [][]float64
+}
+
+// BatchSelector is implemented by selectors that resolve whole batches
+// themselves — the engine's caching wrapper, which consults its cache per
+// query and batches only the misses.
+type BatchSelector interface {
+	Selector
+	// SelectBatch returns one ranked context per query, in order.
+	SelectBatch(g *kg.Graph, queries [][]kg.NodeID, k int) [][]topk.Item
+}
+
+// SelectBatch resolves contexts for many queries through sel: the batched
+// scoring path when sel provides one, per-query Select otherwise. Either
+// way the results equal per-query Select calls.
+func SelectBatch(g *kg.Graph, sel Selector, queries [][]kg.NodeID, k int) [][]topk.Item {
+	out := make([][]topk.Item, len(queries))
+	if bs, ok := sel.(BatchScorer); ok {
+		scores := bs.ScoresBatch(g, queries)
+		for i, q := range queries {
+			out[i] = TopKFromScores(scores[i], q, k)
+		}
+		return out
+	}
+	for i, q := range queries {
+		out[i] = sel.Select(g, q, k)
+	}
+	return out
+}
+
 // TopKFromScores cuts the k best-scored nodes from a dense score vector,
 // excluding the query nodes and zero scores — the shared selection step of
 // every score-based selector.
@@ -80,6 +118,14 @@ func (s RandomWalk) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
 // Scores implements Scorer: the summed per-seed PageRank vector.
 func (s RandomWalk) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
 	return ppr.PersonalizedSum(g, query, s.Opt)
+}
+
+// ScoresBatch implements BatchScorer through the batched multi-source
+// solve: unique seeds across the batch are solved once and the dense
+// tails share the blocked gather kernel, bitwise identical to per-query
+// Scores.
+func (s RandomWalk) ScoresBatch(g *kg.Graph, queries [][]kg.NodeID) [][]float64 {
+	return ppr.PersonalizedSumMulti(g, queries, s.Opt)
 }
 
 // ContextRW is the paper's context selector (Section 3.1).

@@ -1,0 +1,145 @@
+// Package exec provides the process-wide bounded executor shared by every
+// parallel stage of the search pipeline: the row-partitioned PageRank
+// gather, the comparison stage's label pool, and the batch search's
+// per-query fan-out.
+//
+// Before this package each parallel call site spawned its own goroutines —
+// fine for one query, but a serving host running hundreds of concurrent
+// searches multiplied every request by every stage's worker count. The
+// shared pool caps the process at one fixed set of workers; call sites
+// submit shards and keep one shard for themselves.
+//
+// # Design
+//
+// Submission is direct handoff with inline fallback: Group.Go hands the
+// task to an idle pool worker, or — when every worker is busy — runs it on
+// the calling goroutine before returning. This has two consequences that
+// shape the whole package:
+//
+//   - No unbounded queue: total concurrency is workers + submitters, both
+//     bounded, and memory cannot grow with offered load.
+//   - No nesting deadlock: a stage running inside a pool worker (the batch
+//     path runs CompareSets inside a per-query task, and each CompareSets
+//     fans out its labels) can never wedge waiting for workers that are
+//     themselves waiting — a task that finds no idle worker simply runs
+//     inline, so progress is guaranteed by construction.
+//
+// Correctness of callers does not depend on where a task runs: every call
+// site partitions work into independent shards writing disjoint outputs,
+// so results are bitwise identical whether a shard ran on a pool worker or
+// inline on the submitter.
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of worker goroutines accepting direct task
+// handoffs. The zero value is not usable; construct with NewPool.
+type Pool struct {
+	tasks chan func()
+}
+
+// NewPool starts a pool of exactly workers goroutines (minimum 1). The
+// workers live for the life of the process; a Pool has no Close because
+// its idle cost is workers goroutines parked on a channel receive.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for task := range p.tasks {
+		task()
+	}
+}
+
+// TrySubmit hands task to an idle worker, reporting false — without
+// running the task — when every worker is busy. The unbuffered channel
+// makes the select a true idleness probe: the send succeeds only when a
+// worker is parked on the receive.
+func (p *Pool) TrySubmit(task func()) bool {
+	select {
+	case p.tasks <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, created on first use with
+// GOMAXPROCS workers — one per schedulable core, matching the parallelism
+// the runtime will actually grant.
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}
+
+// Group tracks a set of tasks submitted to one pool, à la sync.WaitGroup.
+// The zero value submits every task inline (a nil-pool group is valid and
+// simply serial); use NewGroup for pooled execution. A Group must not be
+// copied and is not reusable after Wait returns.
+type Group struct {
+	pool *Pool
+	wg   sync.WaitGroup
+}
+
+// NewGroup returns a Group submitting to p.
+func NewGroup(p *Pool) *Group {
+	return &Group{pool: p}
+}
+
+// Go runs task on an idle pool worker, or inline on the caller when none
+// is idle (see the package comment for why this never deadlocks). Inline
+// execution means Go can block for the task's full duration; callers
+// submitting N shards typically submit N−1 and run the last themselves,
+// so the inline case costs nothing extra.
+func (g *Group) Go(task func()) {
+	if g.pool == nil {
+		task()
+		return
+	}
+	g.wg.Add(1)
+	wrapped := func() {
+		defer g.wg.Done()
+		task()
+	}
+	if !g.pool.TrySubmit(wrapped) {
+		wrapped()
+	}
+}
+
+// Wait blocks until every task passed to Go has finished.
+func (g *Group) Wait() {
+	g.wg.Wait()
+}
+
+// RunWorkers runs `run` on up to workers concurrent executions drawn from
+// the default pool — workers−1 submitted, one inline on the caller — and
+// returns when all have finished. It is the worker-fan idiom shared by
+// the comparison stage and the batch search: run is a self-scheduling
+// worker (typically draining an atomic claim counter), so executing it
+// fewer times than requested, or entirely inline on a busy pool, only
+// reduces concurrency, never the work done. workers <= 1 runs serially.
+func RunWorkers(workers int, run func()) {
+	g := NewGroup(Default())
+	for w := 1; w < workers; w++ {
+		g.Go(run)
+	}
+	run()
+	g.Wait()
+}

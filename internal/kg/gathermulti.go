@@ -1,0 +1,167 @@
+package kg
+
+import (
+	"sort"
+
+	"repro/internal/exec"
+)
+
+// MaxGatherBlock is the widest vector block GatherStepMulti accepts. Eight
+// float64 columns are exactly one 64-byte cache line per node, so a block
+// walks the edge stream once while every per-node probability read lands
+// in a single line — the sweet spot for the memory-bandwidth-bound kernel.
+const MaxGatherBlock = 8
+
+// GatherStepMulti computes one damped power-iteration step, next = c·Ã·p,
+// for b personalization vectors at once. Vectors are stored interleaved
+// ("blocked"): column j of node x lives at p[x*b+j], and likewise in next.
+// The edge stream (in-edge lists and probabilities) is read once for the
+// whole block instead of once per vector, and the b reads of a source
+// node's block are contiguous — the entire win of the batched cold path
+// sits in this loop.
+//
+// Each column's arithmetic replicates GatherStep exactly: the same four
+// running sums over the same edge order, combined in the same tree, so
+// column j of the result is bitwise identical to a serial GatherStep over
+// that vector alone. dangling must hold at least b entries; it is
+// overwritten with the per-column probability mass sitting on dangling
+// nodes, accumulated in the same node order as the serial kernel.
+//
+// b must be in [1, MaxGatherBlock]; next and p must hold NumNodes()*b
+// entries.
+func (t *TransitionCSR) GatherStepMulti(next, p []float64, c float64, b int, dangling []float64) {
+	t.gatherRowsMulti(next, p, c, b, 0, t.g.NumNodes())
+	t.danglingMulti(p, b, dangling)
+}
+
+// danglingMulti accumulates the per-column dangling mass.
+func (t *TransitionCSR) danglingMulti(p []float64, b int, dangling []float64) {
+	clear(dangling[:b])
+	for _, d := range t.dangling {
+		blk := p[int(d)*b : int(d)*b+b]
+		for j := 0; j < b; j++ {
+			dangling[j] += blk[j]
+		}
+	}
+}
+
+// gatherRowsMulti computes rows [rowLo, rowHi) of one blocked gather step.
+// As with gatherRows, a row is produced entirely by one call, so any row
+// partition yields the same bits as a full serial sweep.
+func (t *TransitionCSR) gatherRowsMulti(next, p []float64, c float64, b int, rowLo, rowHi int) {
+	if b == MaxGatherBlock {
+		t.gatherRowsMulti8(next, p, c, rowLo, rowHi)
+		return
+	}
+	var accBuf [4 * MaxGatherBlock]float64
+	acc := accBuf[:4*b]
+	lo := int(t.tOff[rowLo])
+	for x := rowLo; x < rowHi; x++ {
+		hi := int(t.tOff[x+1])
+		row := t.tFrom[lo:hi]
+		pr := t.tProb[lo:hi:hi][:len(row)]
+		clear(acc)
+		k := 0
+		for ; k+3 < len(row); k += 4 {
+			i0, w0 := int(row[k])*b, pr[k]
+			i1, w1 := int(row[k+1])*b, pr[k+1]
+			i2, w2 := int(row[k+2])*b, pr[k+2]
+			i3, w3 := int(row[k+3])*b, pr[k+3]
+			for j := 0; j < b; j++ {
+				a := acc[4*j : 4*j+4 : 4*j+4]
+				a[0] += p[i0+j] * w0
+				a[1] += p[i1+j] * w1
+				a[2] += p[i2+j] * w2
+				a[3] += p[i3+j] * w3
+			}
+		}
+		for ; k < len(row); k++ {
+			i0, w0 := int(row[k])*b, pr[k]
+			for j := 0; j < b; j++ {
+				acc[4*j] += p[i0+j] * w0
+			}
+		}
+		out := next[x*b : x*b+b]
+		for j := 0; j < b; j++ {
+			out[j] = c * ((acc[4*j] + acc[4*j+1]) + (acc[4*j+2] + acc[4*j+3]))
+		}
+		lo = hi
+	}
+}
+
+// gatherRowsMulti8 is gatherRowsMulti specialized to the full block width.
+// Columns are swept one at a time inside each row with the serial kernel's
+// four register accumulators; the row's edge list, probabilities, and the
+// source blocks' cache lines stay hot across the eight column passes, so
+// the memory system sees each line once per block rather than once per
+// vector. The per-column arithmetic is identical to the generic path and
+// to GatherStep, only dispatched statically.
+func (t *TransitionCSR) gatherRowsMulti8(next, p []float64, c float64, rowLo, rowHi int) {
+	const b = MaxGatherBlock
+	lo := int(t.tOff[rowLo])
+	for x := rowLo; x < rowHi; x++ {
+		hi := int(t.tOff[x+1])
+		row := t.tFrom[lo:hi]
+		pr := t.tProb[lo:hi:hi][:len(row)]
+		out := next[x*b : x*b+b : x*b+b]
+		for j := 0; j < b; j++ {
+			var acc0, acc1, acc2, acc3 float64
+			k := 0
+			for ; k+3 < len(row); k += 4 {
+				acc0 += p[int(row[k])*b+j] * pr[k]
+				acc1 += p[int(row[k+1])*b+j] * pr[k+1]
+				acc2 += p[int(row[k+2])*b+j] * pr[k+2]
+				acc3 += p[int(row[k+3])*b+j] * pr[k+3]
+			}
+			for ; k < len(row); k++ {
+				acc0 += p[int(row[k])*b+j] * pr[k]
+			}
+			out[j] = c * ((acc0 + acc1) + (acc2 + acc3))
+		}
+		lo = hi
+	}
+}
+
+// GatherStepMultiParallel is GatherStepMulti with rows partitioned over up
+// to workers shards through the shared executor, exactly like
+// GatherStepParallel: every row block is written by one shard and the
+// dangling sums stay serial, so the result is bitwise identical to the
+// serial blocked kernel — and therefore to b independent serial
+// GatherStep calls — for every worker count.
+func (t *TransitionCSR) GatherStepMultiParallel(next, p []float64, c float64, b int, dangling []float64, workers int) {
+	n := t.g.NumNodes()
+	edges := int64(len(t.tFrom))
+	if workers > n {
+		workers = n
+	}
+	// The per-edge work is b-fold, so the serial-fallback threshold
+	// applies to edge visits, not edges.
+	if workers <= 1 || edges*int64(b) < parallelGatherMinEdges {
+		t.GatherStepMulti(next, p, c, b, dangling)
+		return
+	}
+	g := exec.NewGroup(exec.Default())
+	prev := 0
+	for w := 1; w <= workers; w++ {
+		bound := n
+		if w < workers {
+			target := edges * int64(w) / int64(workers)
+			bound = sort.Search(n, func(r int) bool { return t.tOff[r] >= target })
+			if bound < prev {
+				bound = prev
+			}
+		}
+		if bound == prev {
+			continue
+		}
+		lo, hi := prev, bound
+		prev = bound
+		if w == workers {
+			t.gatherRowsMulti(next, p, c, b, lo, hi) // last shard on the caller
+			break
+		}
+		g.Go(func() { t.gatherRowsMulti(next, p, c, b, lo, hi) })
+	}
+	g.Wait()
+	t.danglingMulti(p, b, dangling)
+}

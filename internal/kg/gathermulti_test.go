@@ -1,0 +1,159 @@
+package kg
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// packColumns interleaves cols (each a dense n-vector) into the blocked
+// layout GatherStepMulti expects.
+func packColumns(cols [][]float64, n int) []float64 {
+	b := len(cols)
+	pm := make([]float64, n*b)
+	for j, col := range cols {
+		for x := 0; x < n; x++ {
+			pm[x*b+j] = col[x]
+		}
+	}
+	return pm
+}
+
+// TestGatherStepMultiMatchesSerialBitwise: every block width must
+// reproduce b independent serial GatherStep runs bit for bit — the
+// invariant the whole batched PPR path rests on.
+func TestGatherStepMultiMatchesSerialBitwise(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		g := transitionGraph(int64(trial), 30+trial*40, 100+trial*150)
+		tr := g.Transitions()
+		n := g.NumNodes()
+		rng := rand.New(rand.NewSource(int64(trial) + 500))
+		for b := 1; b <= MaxGatherBlock; b++ {
+			cols := make([][]float64, b)
+			want := make([][]float64, b)
+			wantDangling := make([]float64, b)
+			for j := range cols {
+				cols[j] = make([]float64, n)
+				for x := range cols[j] {
+					cols[j][x] = rng.Float64()
+				}
+				want[j] = make([]float64, n)
+				wantDangling[j] = tr.GatherStep(want[j], cols[j], 0.8)
+			}
+			pm := packColumns(cols, n)
+			next := make([]float64, n*b)
+			for i := range next {
+				next[i] = -1 // stale garbage every row must overwrite
+			}
+			dangling := make([]float64, b)
+			tr.GatherStepMulti(next, pm, 0.8, b, dangling)
+			for j := 0; j < b; j++ {
+				if dangling[j] != wantDangling[j] {
+					t.Fatalf("trial %d b=%d col %d: dangling %v != %v",
+						trial, b, j, dangling[j], wantDangling[j])
+				}
+				for x := 0; x < n; x++ {
+					if next[x*b+j] != want[j][x] {
+						t.Fatalf("trial %d b=%d col %d row %d: %v != serial %v",
+							trial, b, j, x, next[x*b+j], want[j][x])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGatherStepMultiParallelBitwiseIdentical: the row-partitioned blocked
+// kernel matches the serial blocked kernel for every worker count, above
+// and below the serial-fallback threshold.
+func TestGatherStepMultiParallelBitwiseIdentical(t *testing.T) {
+	shapes := []struct{ nodes, edges int }{
+		{60, 300},
+		{3000, 12000},
+		{5000, 40000},
+	}
+	for _, sh := range shapes {
+		g := transitionGraph(13, sh.nodes, sh.edges)
+		tr := g.Transitions()
+		n := g.NumNodes()
+		rng := rand.New(rand.NewSource(29))
+		for _, b := range []int{1, 3, MaxGatherBlock} {
+			pm := make([]float64, n*b)
+			for i := range pm {
+				pm[i] = rng.Float64()
+			}
+			want := make([]float64, n*b)
+			wantDangling := make([]float64, b)
+			tr.GatherStepMulti(want, pm, 0.8, b, wantDangling)
+			for _, workers := range []int{1, 2, 3, 7, 16, n + 1} {
+				next := make([]float64, n*b)
+				for i := range next {
+					next[i] = -1
+				}
+				dangling := make([]float64, b)
+				tr.GatherStepMultiParallel(next, pm, 0.8, b, dangling, workers)
+				for j := 0; j < b; j++ {
+					if dangling[j] != wantDangling[j] {
+						t.Fatalf("%d nodes b=%d workers=%d: dangling col %d differs",
+							sh.nodes, b, workers, j)
+					}
+				}
+				for i := range want {
+					if next[i] != want[i] {
+						t.Fatalf("%d nodes b=%d workers=%d: slot %d = %v, serial %v",
+							sh.nodes, b, workers, i, next[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGatherStepMulti pits one blocked step serving 8 vectors
+// against 8 serial steps — the amortization claim of the batched cold
+// path, measured at the kernel level.
+func BenchmarkGatherStepMulti(b *testing.B) {
+	g := transitionGraph(42, 20000, 200000)
+	tr := g.Transitions()
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(1))
+	const width = MaxGatherBlock
+	pm := make([]float64, n*width)
+	for i := range pm {
+		pm[i] = rng.Float64()
+	}
+	nextM := make([]float64, n*width)
+	dangling := make([]float64, width)
+	// The serial baseline cycles 8 distinct vectors, as 8 independent
+	// queries would — re-reading one cached vector 8 times would flatter
+	// it.
+	ps := make([][]float64, width)
+	for v := range ps {
+		ps[v] = make([]float64, n)
+		for x := range ps[v] {
+			ps[v][x] = pm[x*width+v]
+		}
+	}
+	next := make([]float64, n)
+	b.Run("multi8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.GatherStepMulti(nextM, pm, 0.8, width, dangling)
+		}
+	})
+	b.Run("serial8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < width; v++ {
+				tr.GatherStep(next, ps[v], 0.8)
+			}
+		}
+	})
+	b.Run("parallel8", func(b *testing.B) {
+		b.ReportAllocs()
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			tr.GatherStepMultiParallel(nextM, pm, 0.8, width, dangling, workers)
+		}
+	})
+}

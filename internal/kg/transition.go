@@ -2,7 +2,8 @@ package kg
 
 import (
 	"sort"
-	"sync"
+
+	"repro/internal/exec"
 )
 
 // TransitionCSR is the informativeness-weighted transition matrix of Eq. 1
@@ -142,13 +143,13 @@ func (t *TransitionCSR) gatherRows(next, p []float64, c float64, rowLo, rowHi in
 const parallelGatherMinEdges = 1 << 14
 
 // GatherStepParallel is GatherStep with rows partitioned over up to
-// workers goroutines (including the calling one). Rows are independent —
-// each next[x] is written by exactly one worker, and the dangling sum is
-// accumulated serially — so the result is bitwise identical to the serial
-// GatherStep for every worker count. Partitions balance in-edge counts
-// via the transpose offsets, not row counts, so one hub-heavy shard
-// cannot serialize the step. workers <= 1 (or a small graph) degrades to
-// the serial kernel.
+// workers shards run through the shared executor (the last shard on the
+// calling goroutine). Rows are independent — each next[x] is written by
+// exactly one worker, and the dangling sum is accumulated serially — so
+// the result is bitwise identical to the serial GatherStep for every
+// worker count. Partitions balance in-edge counts via the transpose
+// offsets, not row counts, so one hub-heavy shard cannot serialize the
+// step. workers <= 1 (or a small graph) degrades to the serial kernel.
 func (t *TransitionCSR) GatherStepParallel(next, p []float64, c float64, workers int) (dangling float64) {
 	n := t.g.NumNodes()
 	edges := int64(len(t.tFrom))
@@ -158,7 +159,7 @@ func (t *TransitionCSR) GatherStepParallel(next, p []float64, c float64, workers
 	if workers <= 1 || edges < parallelGatherMinEdges {
 		return t.GatherStep(next, p, c)
 	}
-	var wg sync.WaitGroup
+	g := exec.NewGroup(exec.Default())
 	prev := 0
 	for w := 1; w <= workers; w++ {
 		bound := n
@@ -180,13 +181,9 @@ func (t *TransitionCSR) GatherStepParallel(next, p []float64, c float64, workers
 			t.gatherRows(next, p, c, lo, hi) // last shard runs on the caller
 			break
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t.gatherRows(next, p, c, lo, hi)
-		}()
+		g.Go(func() { t.gatherRows(next, p, c, lo, hi) })
 	}
-	wg.Wait()
+	g.Wait()
 	for _, d := range t.dangling {
 		dangling += p[d]
 	}

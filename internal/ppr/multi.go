@@ -1,0 +1,281 @@
+// Batched multi-source PageRank: PersonalizedSumMulti amortizes the cold
+// cost of many queries against one graph.
+//
+// Two amortizations stack. First, seed-level deduplication: the paper's
+// per-query score is the sum of single-seed PageRank vectors, so a batch
+// whose queries overlap (nested eval sweeps, trending entities in a
+// serving mix) needs each distinct seed solved once, not once per query.
+// Second, the dense tails of the surviving solves run through the blocked
+// multi-vector gather kernel (kg.TransitionCSR.GatherStepMulti), which
+// walks the edge stream once per iteration for up to MaxGatherBlock
+// vectors instead of once per vector — the kernel-level win grows with
+// graph size, paying most on graphs whose transpose no longer fits in
+// cache.
+//
+// Every per-seed solve follows the exact schedule of its solo run — the
+// same sparse iterations, the same switch point, dense steps whose
+// per-column arithmetic replicates the serial kernel — and per-query sums
+// fold in seed-list order exactly as PersonalizedSum does, so the batch
+// output is bitwise identical to calling PersonalizedSum per query.
+package ppr
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/kg"
+)
+
+// PersonalizedSumMulti computes PersonalizedSum for every seed set in one
+// batched pass and returns one summed vector per query, in order. Peak
+// memory is O(unique seeds · n) for the per-seed result vectors plus
+// O(MaxGatherBlock · n) for the active dense block.
+func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]float64 {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	out := make([][]float64, len(queries))
+	if n == 0 {
+		for i := range out {
+			out[i] = make([]float64, 0)
+		}
+		return out
+	}
+	if opt.Uniform {
+		// The uniform ablation's dense sweep is scatter-based with no
+		// blocked kernel; batch it query by query.
+		for i, q := range queries {
+			out[i] = PersonalizedSum(g, q, opt)
+		}
+		return out
+	}
+	budget := opt.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	// The blocked dense phase is one solve at a time, so the whole budget
+	// goes to the row-partitioned gather inside each step.
+	opt.gatherWorkers = budget
+	tr := g.Transitions()
+
+	// Unique seeds across the batch, in first-appearance order.
+	index := make(map[kg.NodeID]int)
+	var uniq []kg.NodeID
+	for _, q := range queries {
+		for _, s := range q {
+			if _, ok := index[s]; !ok {
+				index[s] = len(uniq)
+				uniq = append(uniq, s)
+			}
+		}
+	}
+
+	// Phase one: each unique seed's frontier-sparse prefix, exactly as its
+	// solo run would execute it. Solves whose frontier never saturates
+	// finish here; the rest park at their dense switch point.
+	solves := make([]perSeed, len(uniq))
+	var pending []pendingSolve
+	for i := range uniq {
+		ws := getWorkspace(n)
+		ws.init(g, uniq[i:i+1])
+		it := ws.sparsePhase(g, tr, opt, opt.Iterations)
+		solves[i].ws = ws
+		if it < opt.Iterations {
+			pending = append(pending, pendingSolve{ws: ws, rem: opt.Iterations - it, idx: i})
+		}
+	}
+
+	// Phase two: the dense tails. On graphs whose transpose stream dwarfs
+	// the cache the blocked multi-vector kernel walks it once per
+	// iteration for a whole block; small cache-resident graphs skip the
+	// blocked layout's packing and extra indexing and finish each solve
+	// with plain serial dense steps. Both paths produce identical bits —
+	// the dispatch is purely a performance choice.
+	if int64(g.NumEdges()) >= multiDenseMinEdges && len(pending) > 1 {
+		// Sorting by remaining iterations groups columns that retire
+		// together, so block repacks are rare.
+		sort.SliceStable(pending, func(a, b int) bool { return pending[a].rem > pending[b].rem })
+		for base := 0; base < len(pending); base += kg.MaxGatherBlock {
+			end := base + kg.MaxGatherBlock
+			if end > len(pending) {
+				end = len(pending)
+			}
+			solveDenseBlock(tr, pending[base:end], solves, opt, n)
+		}
+	} else {
+		for _, ps := range pending {
+			for it := 0; it < ps.rem; it++ {
+				ps.ws.denseStep(g, tr, opt)
+			}
+		}
+	}
+
+	// Fold per query in seed-list order, with the exact per-seed fold
+	// loops PersonalizedSum runs, so sums carry the same bits.
+	for qi, q := range queries {
+		sum := make([]float64, n)
+		for _, s := range q {
+			solves[index[s]].foldInto(sum, n)
+		}
+		out[qi] = sum
+	}
+	for i := range solves {
+		if solves[i].ws != nil {
+			solves[i].ws.release()
+		}
+	}
+	return out
+}
+
+// perSeed holds one unique seed's finished vector: still inside its
+// workspace (sparse support list or dense), or extracted to a plain
+// vector by the blocked kernel path.
+type perSeed struct {
+	ws  *workspace
+	vec []float64
+}
+
+// foldInto accumulates the seed's vector into sum, mirroring
+// PersonalizedSum's fold: touched-list order for sparse results, an
+// ascending nonzero sweep for dense ones. Slot orders across distinct
+// indices never affect bits — each slot receives one add per seed.
+func (ps *perSeed) foldInto(sum []float64, n int) {
+	if ps.vec != nil {
+		for i, x := range ps.vec {
+			if x != 0 {
+				sum[i] += x
+			}
+		}
+		return
+	}
+	ws := ps.ws
+	if ws.dense {
+		for i, x := range ws.p[:n] {
+			if x != 0 {
+				sum[i] += x
+			}
+		}
+		return
+	}
+	for _, u := range ws.touched {
+		sum[u] += ws.p[u]
+	}
+}
+
+// multiDenseMinEdges is the edge count below which the batched dense
+// phase runs per-seed serial solves instead of the blocked kernel: a
+// cache-resident transpose re-streams for free, so the blocked layout's
+// packing and wider indexing only add work. A variable so tests can force
+// the kernel path on small graphs.
+var multiDenseMinEdges int64 = 1 << 19
+
+// pendingSolve is one unique seed parked at its dense switch point.
+type pendingSolve struct {
+	ws  *workspace
+	rem int // dense iterations remaining
+	idx int // unique-seed index, addressing solves
+}
+
+// fixedPointMinRem is the remaining-iteration count above which a dense
+// block checks columns for bitwise fixed points. Below it the scan costs
+// more than the iterations it could save.
+const fixedPointMinRem = 16
+
+// denseCol tracks one active column of a dense block.
+type denseCol struct {
+	rem  int
+	idx  int       // unique-seed index
+	seed kg.NodeID // single seed; its personalization mass is 1
+}
+
+// solveDenseBlock runs the remaining dense iterations of up to
+// MaxGatherBlock single-seed solves as blocked multi-vector steps. Each
+// iteration is one gather over the shared edge stream plus a per-column
+// teleport; a column retires when its iterations are done or when it hits
+// a bitwise fixed point (p == next everywhere), after which further
+// iterations could not change another bit. Retiring repacks the block to
+// the narrower stride, preserving column order.
+func solveDenseBlock(tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed, opt Options, n int) {
+	b := len(blk)
+	pm := make([]float64, n*b)
+	nextM := make([]float64, n*b)
+	dangling := make([]float64, kg.MaxGatherBlock)
+	cols := make([]denseCol, b)
+	for j, ps := range blk {
+		ws := ps.ws
+		// ws.p is zero outside its touched support, so a dense read is the
+		// full vector regardless of how far the sparse phase got.
+		for x := 0; x < n; x++ {
+			pm[x*b+j] = ws.p[x]
+		}
+		cols[j] = denseCol{rem: ps.rem, idx: ps.idx, seed: ws.seeds[0]}
+		solves[ps.idx].ws = nil
+		ws.release()
+	}
+	// Fixed-point dropout pays when it can save many iterations but is a
+	// per-iteration column scan; short tails (the paper's 10-iteration
+	// runs) skip it. Skipping never changes results — dropout only elides
+	// iterations that would reproduce the same bits.
+	checkFixedPoint := blk[0].rem > fixedPointMinRem
+	c := opt.Damping
+	for b > 0 {
+		tr.GatherStepMultiParallel(nextM[:n*b], pm[:n*b], c, b, dangling, opt.gatherWorkers)
+		retired := false
+		for j := range cols {
+			// Teleport: single seed with mass 1, so the full restart mass
+			// lands on the seed — restart·v[s] with v[s] = 1.
+			restart := (1 - c) + c*dangling[j]
+			nextM[int(cols[j].seed)*b+j] += restart * 1
+			cols[j].rem--
+			if checkFixedPoint && cols[j].rem > 0 && fixedPointCol(pm, nextM, b, j, n) {
+				// Bitwise fixed point: every further iteration reproduces
+				// this exact column, so stop iterating it now.
+				cols[j].rem = 0
+			}
+			if cols[j].rem == 0 {
+				retired = true
+			}
+		}
+		pm, nextM = nextM, pm
+		if !retired {
+			continue
+		}
+		// Extract finished columns and repack the survivors to the
+		// narrower stride, in place and in order.
+		kept := cols[:0]
+		keptJ := make([]int, 0, b)
+		for j := range cols {
+			if cols[j].rem == 0 {
+				v := make([]float64, n)
+				for x := 0; x < n; x++ {
+					v[x] = pm[x*b+j]
+				}
+				solves[cols[j].idx].vec = v
+			} else {
+				kept = append(kept, cols[j])
+				keptJ = append(keptJ, j)
+			}
+		}
+		nb := len(kept)
+		if nb > 0 && nb < b {
+			for x := 0; x < n; x++ {
+				for newj, oldj := range keptJ {
+					pm[x*nb+newj] = pm[x*b+oldj]
+				}
+			}
+		}
+		cols = kept
+		b = nb
+	}
+}
+
+// fixedPointCol reports whether column j is bitwise identical in p and
+// next. Early exit on the first differing node keeps the common
+// (unconverged) case nearly free.
+func fixedPointCol(p, next []float64, b, j, n int) bool {
+	for x := 0; x < n; x++ {
+		if p[x*b+j] != next[x*b+j] {
+			return false
+		}
+	}
+	return true
+}

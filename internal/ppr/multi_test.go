@@ -1,0 +1,160 @@
+package ppr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kg"
+)
+
+// batchQueries builds nq random queries of 1..maxLen seeds with heavy
+// overlap (seeds drawn from a small pool), the workload the batch path is
+// built for.
+func batchQueries(rng *rand.Rand, nq, maxLen, nodes int) [][]kg.NodeID {
+	pool := make([]kg.NodeID, 1+nodes/10)
+	for i := range pool {
+		pool[i] = kg.NodeID(rng.Intn(nodes))
+	}
+	queries := make([][]kg.NodeID, nq)
+	for i := range queries {
+		q := make([]kg.NodeID, 1+rng.Intn(maxLen))
+		for j := range q {
+			q[j] = pool[rng.Intn(len(pool))]
+		}
+		queries[i] = q
+	}
+	return queries
+}
+
+// TestPersonalizedSumMultiMatchesSequentialBitwise: the batched solve must
+// reproduce per-query PersonalizedSum bit for bit — across graph shapes
+// (sparse-only and saturating solves), batch sizes, duplicate seeds within
+// a query, shared seeds across queries, and every Parallelism setting.
+func TestPersonalizedSumMultiMatchesSequentialBitwise(t *testing.T) {
+	shapes := []struct{ nodes, edges int }{
+		{40, 80},      // tiny: saturates instantly
+		{400, 1600},   // mixed sparse/dense switch points
+		{2000, 12000}, // clears the parallel-gather threshold when dense
+	}
+	defer func(v int64) { multiDenseMinEdges = v }(multiDenseMinEdges)
+	for _, kernel := range []bool{false, true} {
+		if kernel {
+			multiDenseMinEdges = 0 // force the blocked kernel on small graphs
+		} else {
+			multiDenseMinEdges = 1 << 62 // force the per-seed serial tail
+		}
+		for _, sh := range shapes {
+			g := randomGraph(sh.nodes, sh.edges, 17)
+			rng := rand.New(rand.NewSource(int64(sh.nodes)))
+			for _, nq := range []int{1, 3, 16} {
+				queries := batchQueries(rng, nq, 4, g.NumNodes())
+				for _, par := range []int{1, 4} {
+					opt := Options{Parallelism: par}
+					got := PersonalizedSumMulti(g, queries, opt)
+					if len(got) != len(queries) {
+						t.Fatalf("%d nodes nq=%d: %d results", sh.nodes, nq, len(got))
+					}
+					for qi, q := range queries {
+						want := PersonalizedSum(g, q, opt)
+						for i := range want {
+							if got[qi][i] != want[i] {
+								t.Fatalf("%d nodes nq=%d par=%d kernel=%v query %d node %d: batch %v != sequential %v",
+									sh.nodes, nq, par, kernel, qi, i, got[qi][i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPersonalizedSumMultiUniform: the uniform ablation takes the
+// per-query fallback and must still match exactly.
+func TestPersonalizedSumMultiUniform(t *testing.T) {
+	g := randomGraph(300, 1200, 5)
+	queries := [][]kg.NodeID{{1, 2}, {2, 3, 3}, {7}}
+	opt := Options{Uniform: true}
+	got := PersonalizedSumMulti(g, queries, opt)
+	for qi, q := range queries {
+		want := PersonalizedSum(g, q, opt)
+		for i := range want {
+			if got[qi][i] != want[i] {
+				t.Fatalf("uniform query %d node %d: %v != %v", qi, i, got[qi][i], want[i])
+			}
+		}
+	}
+}
+
+// TestPersonalizedSumMultiEdgeCases: empty batch, empty queries, and an
+// empty graph must mirror the sequential behavior.
+func TestPersonalizedSumMultiEdgeCases(t *testing.T) {
+	g := randomGraph(50, 200, 9)
+	if got := PersonalizedSumMulti(g, nil, Options{}); len(got) != 0 {
+		t.Fatalf("nil batch: %d results", len(got))
+	}
+	got := PersonalizedSumMulti(g, [][]kg.NodeID{{}, {3}}, Options{})
+	for i, x := range got[0] {
+		if x != 0 {
+			t.Fatalf("empty query node %d = %v, want 0", i, x)
+		}
+	}
+	want := PersonalizedSum(g, []kg.NodeID{3}, Options{})
+	for i := range want {
+		if got[1][i] != want[i] {
+			t.Fatalf("node %d: %v != %v", i, got[1][i], want[i])
+		}
+	}
+	empty := kg.NewBuilder(0).Build()
+	if got := PersonalizedSumMulti(empty, [][]kg.NodeID{{}}, Options{}); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty graph: %+v", got)
+	}
+}
+
+// TestPersonalizedSumMultiConvergenceDropout: on a high-iteration run the
+// fixed-point dropout must not change a bit — dropping a converged column
+// is only legal because iterating it further reproduces the same vector.
+func TestPersonalizedSumMultiConvergenceDropout(t *testing.T) {
+	defer func(v int64) { multiDenseMinEdges = v }(multiDenseMinEdges)
+	multiDenseMinEdges = 0 // dropout lives in the blocked kernel path
+	// A small dense-ish graph saturates early and converges within the
+	// generous iteration budget, exercising the dropout.
+	g := randomGraph(60, 600, 3)
+	queries := [][]kg.NodeID{{1}, {2}, {1, 2, 3}, {4, 5}}
+	opt := Options{Iterations: 300}
+	got := PersonalizedSumMulti(g, queries, opt)
+	for qi, q := range queries {
+		want := PersonalizedSum(g, q, opt)
+		for i := range want {
+			if got[qi][i] != want[i] {
+				t.Fatalf("query %d node %d: %v != %v", qi, i, got[qi][i], want[i])
+			}
+		}
+	}
+}
+
+// TestPersonalizedSumMultiYago pins the batch path on the benchmark
+// workload: nested actor/politician queries over the half-scale YAGO-like
+// graph.
+func TestPersonalizedSumMultiYago(t *testing.T) {
+	d := gen.YAGOLike(gen.YAGOConfig{Seed: 42, Scale: 0.5})
+	g := d.Graph
+	var queries [][]kg.NodeID
+	for size := 2; size <= 6; size++ {
+		q, err := d.Scenario("actors").QueryIDs(g, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	got := PersonalizedSumMulti(g, queries, Options{})
+	for qi, q := range queries {
+		want := PersonalizedSum(g, q, Options{})
+		for i := range want {
+			if got[qi][i] != want[i] {
+				t.Fatalf("query %d node %d: batch %v != sequential %v", qi, i, got[qi][i], want[i])
+			}
+		}
+	}
+}

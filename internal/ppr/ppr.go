@@ -38,6 +38,11 @@
 // memory is O(workers·n) rather than O(seeds·n), and per-seed vectors are
 // folded into the running sum in ascending seed order, so results are
 // bitwise identical for every Parallelism setting.
+//
+// PersonalizedSumMulti (multi.go) batches many queries into one
+// multi-source solve — unique seeds solved once, dense tails blocked
+// through the multi-vector gather kernel — bitwise identical to per-query
+// PersonalizedSum calls.
 package ppr
 
 import (
@@ -154,7 +159,27 @@ const denseSwitchDivisor = 6
 // vector in ws.p — with its support in ws.touched, or dense (ws.dense)
 // if the frontier saturated. opt must already carry defaults; the caller
 // owns ws and must reset or release it after consuming the result.
+//
+// The run is two phases: the sparse phase walks the frontier until it
+// saturates (or the iteration budget runs out), then every remaining
+// iteration is a dense step. PersonalizedSumMulti drives the same two
+// phases but hands the dense tail to the blocked multi-vector kernel, so
+// both paths share each phase's code — and therefore its bits.
 func personalizedInto(g *kg.Graph, seeds []kg.NodeID, opt Options, ws *workspace) {
+	ws.init(g, seeds)
+	var tr *kg.TransitionCSR
+	if !opt.Uniform {
+		tr = g.Transitions()
+	}
+	it := ws.sparsePhase(g, tr, opt, opt.Iterations)
+	for ; it < opt.Iterations; it++ {
+		ws.denseStep(g, tr, opt)
+	}
+}
+
+// init distributes the personalization mass over the (deduplicated) seeds
+// and plants the initial frontier.
+func (ws *workspace) init(g *kg.Graph, seeds []kg.NodeID) {
 	ws.n = g.NumNodes()
 	mass := 1 / float64(len(seeds))
 	for _, s := range seeds {
@@ -167,53 +192,66 @@ func personalizedInto(g *kg.Graph, seeds []kg.NodeID, opt Options, ws *workspace
 		ws.p[s] = ws.v[s]
 		ws.touched = append(ws.touched, s)
 	}
+}
 
-	var tr *kg.TransitionCSR
-	if !opt.Uniform {
-		tr = g.Transitions()
-	}
+// sparsePhase runs power iterations in the frontier-sparse regime until
+// the frontier saturates — setting ws.dense without running that
+// iteration — or limit iterations complete. Returns the number of
+// iterations run. The final vector is in ws.p with support ws.touched.
+func (ws *workspace) sparsePhase(g *kg.Graph, tr *kg.TransitionCSR, opt Options, limit int) int {
 	c := opt.Damping
 	p, next := ws.p, ws.next
 	touched, nextT := ws.touched, ws.nextT[:0]
-	for it := 0; it < opt.Iterations; it++ {
-		if !ws.dense && len(touched)*denseSwitchDivisor >= ws.n {
+	it := 0
+	for ; it < limit; it++ {
+		if len(touched)*denseSwitchDivisor >= ws.n {
 			ws.dense = true
+			break
 		}
-		var dangling float64
-		switch {
-		case !ws.dense:
-			dangling = sparseSweep(g, tr, p, next, touched, &nextT, c, opt.Uniform)
-		case opt.Uniform:
-			dangling = ws.uniformDenseSweep(g, p, next, c)
-		default:
-			// Gather overwrites next outright — no pre-zeroing needed.
-			dangling = tr.GatherStepParallel(next, p, c, opt.gatherWorkers)
-		}
+		dangling := sparseSweep(g, tr, p, next, touched, &nextT, c, opt.Uniform)
 		// Teleport: restart mass plus mass stranded on dangling nodes,
 		// distributed over the personalization — only seeds are nonzero.
 		restart := (1 - c) + c*dangling
 		for _, s := range ws.seeds {
-			if !ws.dense && next[s] == 0 {
+			if next[s] == 0 {
 				nextT = append(nextT, s)
 			}
 			next[s] += restart * ws.v[s]
 		}
-		switch {
-		case !ws.dense:
-			for _, u := range touched {
-				p[u] = 0
-			}
-		case opt.Uniform:
-			// The uniform dense sweep accumulates, so the vector it will
-			// reuse as next must go back to zero.
-			clear(p[:ws.n])
-			// Weighted dense sweeps overwrite: stale p is reused as-is.
+		for _, u := range touched {
+			p[u] = 0
 		}
 		p, next = next, p
 		touched, nextT = nextT, touched[:0]
 	}
 	ws.p, ws.next = p, next
 	ws.touched, ws.nextT = touched, nextT
+	return it
+}
+
+// denseStep runs one saturated iteration — a full gather (or accumulate
+// sweep for the uniform ablation) plus the teleport — leaving the new
+// vector in ws.p. ws.touched is not maintained in the dense regime.
+func (ws *workspace) denseStep(g *kg.Graph, tr *kg.TransitionCSR, opt Options) {
+	c := opt.Damping
+	var dangling float64
+	if opt.Uniform {
+		dangling = ws.uniformDenseSweep(g, ws.p, ws.next, c)
+	} else {
+		// Gather overwrites next outright — no pre-zeroing needed.
+		dangling = tr.GatherStepParallel(ws.next, ws.p, c, opt.gatherWorkers)
+	}
+	restart := (1 - c) + c*dangling
+	for _, s := range ws.seeds {
+		ws.next[s] += restart * ws.v[s]
+	}
+	if opt.Uniform {
+		// The uniform dense sweep accumulates, so the vector it will
+		// reuse as next must go back to zero. Weighted dense sweeps
+		// overwrite: stale p is reused as-is.
+		clear(ws.p[:ws.n])
+	}
+	ws.p, ws.next = ws.next, ws.p
 }
 
 // sparseSweep propagates one step over the frontier only, appending the

@@ -25,34 +25,62 @@ import (
 	"sync"
 )
 
-// Cache is a bounded LRU map with hit/miss/eviction counters. A nil
-// *Cache is a valid no-op cache: Get always misses and Put does nothing.
+// Layer identifies which pipeline stage an entry belongs to, for
+// per-layer byte accounting. The cache itself treats layers opaquely.
+type Layer uint8
+
+const (
+	// LayerSelector holds selector score vectors and ranked contexts —
+	// the big entries, ~8 bytes per graph node each.
+	LayerSelector Layer = iota
+	// LayerTest holds per-label test records — small entries.
+	LayerTest
+	numLayers
+)
+
+// Cache is a bounded LRU map with hit/miss/eviction counters and
+// per-layer byte accounting. A nil *Cache is a valid no-op cache: Get
+// always misses and Put does nothing.
 type Cache struct {
-	mu        sync.Mutex
-	capacity  int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	mu         sync.Mutex
+	capacity   int
+	byteBudget int64      // 0 = entries-only bound
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      [numLayers]int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
 }
 
 // entry is one cached key/value pair, stored in the recency list.
 type entry struct {
-	key string
-	val any
+	key   string
+	val   any
+	layer Layer
+	bytes int64
 }
 
 // New returns a cache bounded to capacity entries. capacity <= 0 returns
 // nil, the no-op cache.
 func New(capacity int) *Cache {
+	return NewBudget(capacity, 0)
+}
+
+// NewBudget returns a cache bounded to capacity entries and, when
+// byteBudget > 0, to byteBudget total bytes of size hints: a Put whose
+// hint would push the total past the budget evicts from the LRU end
+// first, exactly as the entry cap does. capacity <= 0 returns nil, the
+// no-op cache.
+func NewBudget(capacity int, byteBudget int64) *Cache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element, capacity),
+		capacity:   capacity,
+		byteBudget: byteBudget,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element, capacity),
 	}
 }
 
@@ -73,27 +101,58 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*entry).val, true
 }
 
-// Put stores val under key, evicting the least recently used entry when
-// the cache is full. Storing an existing key refreshes its value and
-// recency.
+// Put stores val under key with a zero size hint in the selector layer —
+// entry-cap semantics only. Callers that account bytes use PutSized.
 func (c *Cache) Put(key string, val any) {
+	c.PutSized(key, val, LayerSelector, 0)
+}
+
+// PutSized stores val under key, attributing bytes to layer for the
+// per-layer accounting, and evicts least-recently-used entries while the
+// cache exceeds either its entry cap or its byte budget. The hint is the
+// caller's estimate of the value's footprint; the cache never inspects
+// values. Storing an existing key refreshes its value, hint, and recency.
+func (c *Cache) PutSized(key string, val any, layer Layer, bytes int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).val = val
+		e := el.Value.(*entry)
+		c.bytes[e.layer] -= e.bytes
+		e.val, e.layer, e.bytes = val, layer, bytes
+		c.bytes[layer] += bytes
 		c.ll.MoveToFront(el)
+		c.evictOver()
 		return
 	}
-	if c.ll.Len() >= c.capacity {
+	c.bytes[layer] += bytes
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val, layer: layer, bytes: bytes})
+	c.evictOver()
+}
+
+// evictOver drops LRU entries until both bounds hold. The newest entry is
+// never dropped: a single value larger than the whole byte budget still
+// caches (and evicts everything else) rather than thrashing on every Put.
+func (c *Cache) evictOver() {
+	for c.ll.Len() > 1 &&
+		(c.ll.Len() > c.capacity || (c.byteBudget > 0 && c.totalBytes() > c.byteBudget)) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, e.key)
+		c.bytes[e.layer] -= e.bytes
 		c.evictions++
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+}
+
+func (c *Cache) totalBytes() int64 {
+	var t int64
+	for _, b := range c.bytes {
+		t += b
+	}
+	return t
 }
 
 // Len returns the number of cached entries.
@@ -113,6 +172,11 @@ type Stats struct {
 	Hits, Misses, Evictions uint64
 	// Size is the current entry count, Capacity the bound.
 	Size, Capacity int
+	// SelectorBytes and TestBytes sum the resident size hints per layer;
+	// Bytes is their total.
+	SelectorBytes, TestBytes, Bytes int64
+	// ByteBudget is the configured byte bound (0 = none).
+	ByteBudget int64
 }
 
 // Stats returns the current counters. A nil cache reports zeros.
@@ -123,11 +187,15 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Size:      c.ll.Len(),
-		Capacity:  c.capacity,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Size:          c.ll.Len(),
+		Capacity:      c.capacity,
+		SelectorBytes: c.bytes[LayerSelector],
+		TestBytes:     c.bytes[LayerTest],
+		Bytes:         c.bytes[LayerSelector] + c.bytes[LayerTest],
+		ByteBudget:    c.byteBudget,
 	}
 }
 

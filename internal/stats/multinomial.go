@@ -8,6 +8,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // DefaultAlpha is the paper's significance level: a characteristic is
@@ -52,10 +53,13 @@ func (m Multinomial) withDefaults() Multinomial {
 	if m.Alpha == 0 {
 		m.Alpha = DefaultAlpha
 	}
-	if m.ExactLimit == 0 {
+	// Non-positive budgets select the defaults: a negative Samples would
+	// otherwise run zero Monte-Carlo iterations and divide by zero in the
+	// +1-corrected estimate.
+	if m.ExactLimit <= 0 {
 		m.ExactLimit = 200000
 	}
-	if m.Samples == 0 {
+	if m.Samples <= 0 {
 		m.Samples = 20000
 	}
 	return m
@@ -76,15 +80,17 @@ func (m Multinomial) Test(pi []float64, x []int) Result {
 }
 
 // Scratch holds the reusable buffers of one TestScratch caller — the
-// normalized probability vector plus the enumeration and sampling state.
-// The zero value is ready; buffers grow to the largest test seen and are
-// reused across calls. A Scratch must not be shared between concurrent
-// tests.
+// normalized probability vector, its per-category logs, and the
+// enumeration and sampling state. The zero value is ready; buffers grow to
+// the largest test seen and are reused across calls. A Scratch must not be
+// shared between concurrent tests.
 type Scratch struct {
 	p      []float64
+	logp   []float64
 	comp   []int
 	cdf    []float64
 	counts []int
+	guide  []int
 }
 
 // grow returns buf resized to length k, reallocating only when capacity
@@ -117,8 +123,21 @@ func (m Multinomial) TestScratch(pi []float64, x []int, s *Scratch) Result {
 	// branch below reports P = 0, maximal notability.
 	s.p = grow(s.p, len(x))
 	p := normalizeProbsInto(s.p, pi)
+	// Every later probability term is c·ln(p[i]) − ln(c!): cache the k
+	// category logs once so the enumeration/sampling loops run on pure
+	// arithmetic. math.Log is deterministic, so reusing its result is
+	// bit-identical to recomputing it per term.
+	s.logp = grow(s.logp, len(x))
+	logp := s.logp
+	for i, pv := range p {
+		if pv > 0 {
+			logp[i] = math.Log(pv)
+		} else {
+			logp[i] = math.Inf(-1)
+		}
+	}
 
-	logX := logMultinomialProb(p, x, n)
+	logX := logMultinomialProbCached(p, logp, x, n)
 	if math.IsInf(logX, -1) {
 		// x contains a category the context deems impossible: no outcome
 		// can be ≤ its probability except other impossible ones, which are
@@ -127,9 +146,9 @@ func (m Multinomial) TestScratch(pi []float64, x []int, s *Scratch) Result {
 	}
 
 	if comps, ok := compositionsUpTo(n, len(x), m.ExactLimit); ok && comps <= m.ExactLimit {
-		return Result{P: m.exact(p, logX, n, len(x), s), Exact: true, LogProbX: logX}
+		return Result{P: m.exact(p, logp, logX, n, len(x), s), Exact: true, LogProbX: logX}
 	}
-	return Result{P: m.monteCarlo(p, logX, n, s), Exact: false, LogProbX: logX}
+	return Result{P: m.monteCarlo(p, logp, logX, n, s), Exact: false, LogProbX: logX}
 }
 
 // Score is the MT score of the paper: 1 − Pr_s when the test rejects at
@@ -144,8 +163,10 @@ func (m Multinomial) Score(pi []float64, x []int) float64 {
 }
 
 // exact enumerates every composition of n into k parts, accumulating the
-// probability of outcomes at most as likely as logX.
-func (m Multinomial) exact(p []float64, logX float64, n, k int, s *Scratch) float64 {
+// probability of outcomes at most as likely as logX. Probability terms are
+// pure arithmetic over the cached category logs and the ln-factorial
+// table, so enumeration spends no time in math.Log/Lgamma.
+func (m Multinomial) exact(p, logp []float64, logX float64, n, k int, s *Scratch) float64 {
 	logN := lgammaInt(n + 1)
 	total := 0.0
 	s.comp = grow(s.comp, k)
@@ -154,7 +175,7 @@ func (m Multinomial) exact(p []float64, logX float64, n, k int, s *Scratch) floa
 	rec = func(cat, remaining int, logAcc float64) {
 		if cat == k-1 {
 			comp[cat] = remaining
-			lp := logAcc + termLog(p[cat], remaining)
+			lp := logAcc + termLogCached(p[cat], logp[cat], remaining)
 			if math.IsInf(lp, -1) {
 				return
 			}
@@ -166,7 +187,7 @@ func (m Multinomial) exact(p []float64, logX float64, n, k int, s *Scratch) floa
 		}
 		for c := 0; c <= remaining; c++ {
 			comp[cat] = c
-			lt := termLog(p[cat], c)
+			lt := termLogCached(p[cat], logp[cat], c)
 			if math.IsInf(lt, -1) {
 				continue // impossible category count; all deeper outcomes have prob 0
 			}
@@ -180,10 +201,31 @@ func (m Multinomial) exact(p []float64, logX float64, n, k int, s *Scratch) floa
 	return total
 }
 
+// guideBuckets sizes the Monte-Carlo sampler's guide table: enough buckets
+// that a draw's bucket usually holds one or two categories, capped so the
+// per-test build cost stays trivial next to Samples×n draws.
+func guideBuckets(k int) int {
+	g := 4 * k
+	if g < 16 {
+		g = 16
+	}
+	if g > 8192 {
+		g = 8192
+	}
+	return g
+}
+
 // monteCarlo estimates Pr_s by sampling outcomes from Mult(n, p). The
 // standard +1 correction keeps the estimate strictly positive, matching
 // the convention that a Monte-Carlo p-value never claims impossibility.
-func (m Multinomial) monteCarlo(p []float64, logX float64, n int, s *Scratch) float64 {
+//
+// Each draw inverts the CDF through a guide table: bucket b pre-resolves
+// the index range the binary search could land in, collapsing the per-draw
+// search to O(1) expected. The bucketed search answers exactly the same
+// "first index whose cumulative value exceeds u" question, so the sampled
+// category sequence — and therefore the estimate — is bit-identical to the
+// plain binary search it replaces.
+func (m Multinomial) monteCarlo(p, logp []float64, logX float64, n int, s *Scratch) float64 {
 	rng := rand.New(rand.NewSource(m.Seed))
 	s.cdf = grow(s.cdf, len(p))
 	cdf := s.cdf
@@ -192,26 +234,85 @@ func (m Multinomial) monteCarlo(p []float64, logX float64, n int, s *Scratch) fl
 		acc += pi
 		cdf[i] = acc
 	}
+	nb := guideBuckets(len(p))
+	s.guide = grow(s.guide, nb+1)
+	guide := s.guide
+	step := acc / float64(nb)
+	// One monotone sweep fills every bucket with the same "first index
+	// whose cumulative value exceeds the bucket boundary" a binary search
+	// would find.
+	idx := 0
+	for b := 0; b <= nb; b++ {
+		v := float64(b) * step
+		for idx < len(cdf)-1 && cdf[idx] <= v {
+			idx++
+		}
+		guide[b] = idx
+	}
 	hits := 0
 	s.counts = grow(s.counts, len(p))
 	counts := s.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	s.comp = grow(s.comp, 0)
+	touched := s.comp // category indices drawn this sample, unsorted
 	for s := 0; s < m.Samples; s++ {
-		for i := range counts {
-			counts[i] = 0
-		}
+		touched = touched[:0]
 		for j := 0; j < n; j++ {
-			counts[searchCDF(cdf, rng.Float64()*acc)]++
+			u := rng.Float64() * acc
+			b := int(u / step)
+			// The division can round across an integer boundary (by at most
+			// one, a single 1-ulp error), so search the bucket widened by
+			// one on each side rather than trust b exactly.
+			lo, hi := b-1, b+2
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > nb {
+				hi = nb
+			}
+			c := searchCDFRange(cdf, u, guide[lo], guide[hi])
+			if counts[c] == 0 {
+				touched = append(touched, c)
+			}
+			counts[c]++
 		}
-		if logMultinomialProb(p, counts, n) <= logX+logProbTolerance {
+		// The sample's log-probability sums category terms in ascending
+		// index order, exactly as a full scan of counts would.
+		sort.Ints(touched)
+		lp := lgammaInt(n + 1)
+		for _, c := range touched {
+			t := termLogCached(p[c], logp[c], counts[c])
+			if math.IsInf(t, -1) {
+				lp = math.Inf(-1)
+				break
+			}
+			lp += t
+		}
+		if lp <= logX+logProbTolerance {
 			hits++
 		}
+		for _, c := range touched {
+			counts[c] = 0
+		}
 	}
+	s.comp = touched[:0] // keep the grown capacity for the next test
 	return float64(hits+1) / float64(m.Samples+1)
 }
 
 // searchCDF returns the first index whose cumulative value exceeds u.
 func searchCDF(cdf []float64, u float64) int {
-	lo, hi := 0, len(cdf)-1
+	return searchCDFRange(cdf, u, 0, len(cdf)-1)
+}
+
+// searchCDFRange returns the first index in [lo, hi] whose cumulative
+// value exceeds u, assuming the answer lies in that range — the range is
+// [0, len-1] for an unconstrained search, or a guide-table bucket.
+// Because searchCDF's answer is monotone in u, bucket endpoints evaluated
+// at the bucket's boundary values bracket every answer inside it, so the
+// constrained search returns exactly what the full search would.
+func searchCDFRange(cdf []float64, u float64, lo, hi int) int {
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if cdf[mid] > u {
@@ -223,7 +324,8 @@ func searchCDF(cdf []float64, u float64) int {
 	return lo
 }
 
-// logMultinomialProb returns ln Pr(X = x) for X ~ Mult(n, p).
+// logMultinomialProb returns ln Pr(X = x) for X ~ Mult(n, p). Uncached
+// variant for one-off callers; the test loops use logMultinomialProbCached.
 func logMultinomialProb(p []float64, x []int, n int) float64 {
 	lp := lgammaInt(n + 1)
 	for i, xi := range x {
@@ -257,8 +359,57 @@ func pIndex(p []float64, i int) float64 {
 	return p[i]
 }
 
+// logMultinomialProbCached returns ln Pr(X = x) for X ~ Mult(n, p), with
+// logp the cached element-wise ln(p).
+func logMultinomialProbCached(p, logp []float64, x []int, n int) float64 {
+	lp := lgammaInt(n + 1)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		if i >= len(p) {
+			return math.Inf(-1) // observed category beyond π: impossible
+		}
+		t := termLogCached(p[i], logp[i], xi)
+		if math.IsInf(t, -1) {
+			return math.Inf(-1)
+		}
+		lp += t
+	}
+	return lp
+}
+
+// termLogCached returns ln(p^c / c!) with the 0^0 = 1 convention, with lp
+// the cached ln(p).
+func termLogCached(p, lp float64, c int) float64 {
+	if c == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return float64(c)*lp - lgammaInt(c+1)
+}
+
+// lnFactTabSize bounds the precomputed ln Γ table; larger arguments (a
+// 4096-observation count in one category) fall back to math.Lgamma.
+const lnFactTabSize = 4096
+
+// lnFactTab[i] = ln Γ(i), filled by the same math.Lgamma the fallback
+// uses, so table hits are bit-identical to direct evaluation.
+var lnFactTab = func() [lnFactTabSize]float64 {
+	var t [lnFactTabSize]float64
+	for i := 1; i < lnFactTabSize; i++ {
+		t[i], _ = math.Lgamma(float64(i))
+	}
+	return t
+}()
+
 // lgammaInt is ln(Γ(n)) for positive integer n, i.e. ln((n-1)!).
 func lgammaInt(n int) float64 {
+	if n > 0 && n < lnFactTabSize {
+		return lnFactTab[n]
+	}
 	v, _ := math.Lgamma(float64(n))
 	return v
 }

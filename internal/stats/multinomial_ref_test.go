@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the optimized multinomial test (cached per-category logs,
+// ln-factorial table, guide-table CDF search) to the straightforward
+// implementation it replaced. The reference below is the pre-optimization
+// code verbatim; the optimized paths must reproduce it bit for bit — every
+// float operation happens in the same order on the same values, only their
+// inputs are memoized.
+
+// refTest is the pre-optimization TestScratch.
+func (m Multinomial) refTest(pi []float64, x []int) Result {
+	m = m.withDefaults()
+	n := 0
+	for _, xi := range x {
+		n += xi
+	}
+	if n == 0 {
+		return Result{P: 1, Exact: true, LogProbX: 0}
+	}
+	p := normalizeProbs(pi, len(x))
+
+	logX := refLogMultinomialProb(p, x, n)
+	if math.IsInf(logX, -1) {
+		return Result{P: 0, Exact: true, LogProbX: logX}
+	}
+
+	if comps, ok := compositionsUpTo(n, len(x), m.ExactLimit); ok && comps <= m.ExactLimit {
+		return Result{P: m.refExact(p, logX, n, len(x)), Exact: true, LogProbX: logX}
+	}
+	return Result{P: m.refMonteCarlo(p, logX, n), Exact: false, LogProbX: logX}
+}
+
+func (m Multinomial) refExact(p []float64, logX float64, n, k int) float64 {
+	logN := refLgammaInt(n + 1)
+	total := 0.0
+	comp := make([]int, k)
+	var rec func(cat, remaining int, logAcc float64)
+	rec = func(cat, remaining int, logAcc float64) {
+		if cat == k-1 {
+			comp[cat] = remaining
+			lp := logAcc + refTermLog(p[cat], remaining)
+			if math.IsInf(lp, -1) {
+				return
+			}
+			lp += logN
+			if lp <= logX+logProbTolerance {
+				total += math.Exp(lp)
+			}
+			return
+		}
+		for c := 0; c <= remaining; c++ {
+			comp[cat] = c
+			lt := refTermLog(p[cat], c)
+			if math.IsInf(lt, -1) {
+				continue
+			}
+			rec(cat+1, remaining-c, logAcc+lt)
+		}
+	}
+	rec(0, n, 0)
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+func (m Multinomial) refMonteCarlo(p []float64, logX float64, n int) float64 {
+	rng := rand.New(rand.NewSource(m.Seed))
+	cdf := make([]float64, len(p))
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		cdf[i] = acc
+	}
+	hits := 0
+	counts := make([]int, len(p))
+	for s := 0; s < m.Samples; s++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			counts[refSearchCDF(cdf, rng.Float64()*acc)]++
+		}
+		if refLogMultinomialProb(p, counts, n) <= logX+logProbTolerance {
+			hits++
+		}
+	}
+	return float64(hits+1) / float64(m.Samples+1)
+}
+
+func refSearchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func refLogMultinomialProb(p []float64, x []int, n int) float64 {
+	lp := refLgammaInt(n + 1)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		t := refTermLog(pIndex(p, i), xi)
+		if math.IsInf(t, -1) {
+			return math.Inf(-1)
+		}
+		lp += t
+	}
+	return lp
+}
+
+func refTermLog(p float64, c int) float64 {
+	if c == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return float64(c)*math.Log(p) - refLgammaInt(c+1)
+}
+
+func refLgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// TestOptimizedMatchesReferenceBitwise drives randomized observations
+// through both implementations, covering the exact regime, the Monte-Carlo
+// regime, zero-probability categories, impossible observations, and
+// observation vectors longer than π. Equality is exact — ==, not a
+// tolerance.
+func TestOptimizedMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(12)
+		pi := make([]float64, k)
+		for i := range pi {
+			if rng.Intn(5) == 0 {
+				pi[i] = 0 // zero-probability category
+			} else {
+				pi[i] = rng.Float64()
+			}
+		}
+		x := make([]int, k)
+		n := rng.Intn(40)
+		for j := 0; j < n; j++ {
+			x[rng.Intn(k)]++
+		}
+		m := Multinomial{Seed: int64(trial)}
+		if trial%3 == 0 {
+			m.ExactLimit = 1 // force Monte-Carlo
+			m.Samples = 500
+		}
+		got := m.Test(pi, x)
+		want := m.refTest(pi, x)
+		if got != want {
+			t.Fatalf("trial %d (k=%d n=%d): optimized %+v != reference %+v", trial, k, n, got, want)
+		}
+	}
+}
+
+// TestNegativeBudgetsUseDefaults: negative Samples/ExactLimit (reachable
+// through the facade's TestSamples/TestExactLimit options) must select
+// the defaults rather than run a zero-sample Monte-Carlo estimate, whose
+// +1-corrected p-value divides by zero.
+func TestNegativeBudgetsUseDefaults(t *testing.T) {
+	pi := []float64{0.5, 0.3, 0.2}
+	x := []int{20, 1, 1}
+	want := Multinomial{Seed: 3}.Test(pi, x)
+	got := Multinomial{Seed: 3, Samples: -1, ExactLimit: -5}.Test(pi, x)
+	if got != want {
+		t.Fatalf("negative budgets: %+v, want defaults %+v", got, want)
+	}
+	if math.IsInf(got.P, 0) || got.P < 0 || got.P > 1 {
+		t.Fatalf("P = %v out of range", got.P)
+	}
+}
+
+// TestOptimizedMatchesReferenceLargeDraws exercises the guide-table search
+// with heavier draw counts and more categories, Monte-Carlo only.
+func TestOptimizedMatchesReferenceLargeDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		k := 20 + rng.Intn(200)
+		pi := make([]float64, k)
+		for i := range pi {
+			pi[i] = rng.ExpFloat64()
+		}
+		x := make([]int, k)
+		for j := 0; j < 60+rng.Intn(100); j++ {
+			x[rng.Intn(k)]++
+		}
+		m := Multinomial{Seed: int64(trial), ExactLimit: 1, Samples: 300}
+		got := m.Test(pi, x)
+		want := m.refTest(pi, x)
+		if got != want {
+			t.Fatalf("trial %d (k=%d): optimized %+v != reference %+v", trial, k, got, want)
+		}
+	}
+}

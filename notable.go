@@ -26,18 +26,31 @@
 // # Caching and determinism
 //
 // An Engine memoizes two layers of repeated work in one bounded LRU
-// (Options.CacheSize). The selector layer caches score vectors and ranked
-// contexts, so a warm query skips metapath mining and walking; the
-// comparison layer caches per-label test records, so a warm query also
-// skips distribution building and multinomial testing — a fully warm
-// repeated Search recomputes nothing but the top-k cut. CacheStats
-// exposes the hit/miss counters of both layers.
+// (Options.CacheSize, optionally byte-budgeted via Options.CacheBytes).
+// The selector layer caches score vectors and ranked contexts, so a warm
+// query skips metapath mining and walking; the comparison layer caches
+// per-label test records, so a warm query also skips distribution
+// building and multinomial testing — a fully warm repeated Search
+// recomputes nothing but the top-k cut. CacheStats exposes the hit/miss
+// counters and the per-layer resident bytes.
 //
-// Neither caching nor parallelism changes results: every randomized
-// component takes an explicit seed, label tests run on a bounded worker
-// pool writing to fixed per-label slots, and the dense PageRank gather is
-// row-partitioned, so every cache state and worker count produces
-// bitwise-identical output.
+// # Batching
+//
+// SearchBatch serves many independent queries in one pass over the cold
+// pipeline: each query consults the cache first, the misses share one
+// multi-source PageRank solve (each distinct seed across the batch is
+// solved once, with dense iterations blocked through a multi-vector
+// gather kernel on large graphs), and the comparison stages fan out
+// through a process-wide bounded executor. Batches of overlapping cold
+// queries — eval sweeps, batch entity profiling, bursty traffic — run
+// severalfold faster than sequential Search calls with identical output.
+//
+// Neither caching, batching, nor parallelism changes results: every
+// randomized component takes an explicit seed, label tests run on a
+// bounded worker pool writing to fixed per-label slots, the dense
+// PageRank gather is row-partitioned, and every batched stage replicates
+// its sequential arithmetic, so every cache state, batch size, and worker
+// count produces bitwise-identical output.
 package notable
 
 import (
@@ -115,6 +128,11 @@ type Options struct {
 	IncludeInverse bool
 	// Seed drives all randomized components (default 1).
 	Seed int64
+	// Parallelism bounds the workers a search draws from the shared
+	// executor — label tests within one query, and queries within one
+	// SearchBatch. 0 means the core default (4). Like every concurrency
+	// knob here it never changes results, only wall-clock.
+	Parallelism int
 	// CacheSize bounds the engine's query cache: the number of memoized
 	// entries across both cache layers — selector score vectors/contexts,
 	// and per-label test records (see internal/qcache). 0 selects
@@ -123,6 +141,21 @@ type Options struct {
 	// repeated work: a warm repeat of a query skips metapath mining,
 	// walking, distribution building, and multinomial testing entirely.
 	CacheSize int
+	// CacheBytes optionally bounds the query cache by estimated resident
+	// bytes alongside the entry cap. Selector entries weigh ~8 bytes per
+	// graph node (a dense score vector); per-label test records are small.
+	// 0 means no byte bound; CacheStats reports per-layer residency either
+	// way, so a budget can be sized from observed load.
+	CacheBytes int64
+	// TestSamples overrides the multinomial test's Monte-Carlo sample
+	// count (default 20000). Lower is faster and coarser: the sampling
+	// error of a p-value scales with 1/√samples. A serving deployment
+	// trading test resolution for latency sets this explicitly; results
+	// remain deterministic for any value.
+	TestSamples int
+	// TestExactLimit overrides the outcome-composition count up to which
+	// the test enumerates exactly instead of sampling (default 200000).
+	TestExactLimit int
 }
 
 // DefaultCacheSize is the query-cache capacity used when Options.CacheSize
@@ -151,12 +184,13 @@ func NewEngine(g *Graph, opt Options) *Engine {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.New(size)}
+	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.NewBudget(size, opt.CacheBytes)}
 }
 
-// CacheStats reports the query cache's hit/miss/eviction counters,
-// aggregated over both layers: the selector layer (one entry per query's
-// score vector or ranked context) and the comparison layer (one entry per
+// CacheStats reports the query cache's hit/miss/eviction counters and
+// per-layer resident bytes, aggregated over both layers: the selector
+// layer (one entry per query's score vector or ranked context, ~8 bytes
+// per graph node each) and the comparison layer (one small entry per
 // tested label). A fully warm repeated Search performs exactly one
 // selector hit plus one hit per tested label and zero misses. A
 // cache-disabled engine reports zeros.
@@ -207,9 +241,15 @@ type cachedSelector struct {
 // Name implements ctxsel.Selector.
 func (cs cachedSelector) Name() string { return cs.inner.Name() }
 
+// scoresFootprint is the byte accounting hint for a cached dense score
+// vector.
+func scoresFootprint(scores []float64, key string) int64 {
+	return 8*int64(len(scores)) + int64(len(key)) + 48
+}
+
 // Select implements ctxsel.Selector.
 func (cs cachedSelector) Select(g *kg.Graph, query []NodeID, k int) []topk.Item {
-	prefix := fmt.Sprintf("%s|w%d|s%d", cs.inner.Name(), cs.e.opt.Walks, cs.e.opt.Seed)
+	prefix := cs.prefix()
 	if scorer, ok := cs.inner.(ctxsel.Scorer); ok {
 		key, cacheable := qcache.Key(prefix, query)
 		if !cacheable {
@@ -219,7 +259,7 @@ func (cs cachedSelector) Select(g *kg.Graph, query []NodeID, k int) []topk.Item 
 			return ctxsel.TopKFromScores(v.([]float64), query, k)
 		}
 		scores := scorer.Scores(g, query)
-		cs.e.cache.Put(key, scores)
+		cs.e.cache.PutSized(key, scores, qcache.LayerSelector, scoresFootprint(scores, key))
 		return ctxsel.TopKFromScores(scores, query, k)
 	}
 	key, cacheable := qcache.Key(fmt.Sprintf("%s|k%d", prefix, k), query)
@@ -232,8 +272,67 @@ func (cs cachedSelector) Select(g *kg.Graph, query []NodeID, k int) []topk.Item 
 		return append([]topk.Item(nil), v.([]topk.Item)...)
 	}
 	items := cs.inner.Select(g, query, k)
-	cs.e.cache.Put(key, append([]topk.Item(nil), items...))
+	cs.e.cache.PutSized(key, append([]topk.Item(nil), items...),
+		qcache.LayerSelector, 16*int64(len(items))+int64(len(key))+48)
 	return items
+}
+
+func (cs cachedSelector) prefix() string {
+	return fmt.Sprintf("%s|w%d|s%d", cs.inner.Name(), cs.e.opt.Walks, cs.e.opt.Seed)
+}
+
+// SelectBatch implements ctxsel.BatchSelector: each query consults the
+// cache first, and only the misses enter the inner selector — batched
+// through ScoresBatch (the multi-source PageRank solve) when the inner
+// selector provides it. Hits, misses, and every batch size produce
+// exactly what per-query Select calls would.
+func (cs cachedSelector) SelectBatch(g *kg.Graph, queries [][]NodeID, k int) [][]topk.Item {
+	out := make([][]topk.Item, len(queries))
+	scorer, isScorer := cs.inner.(ctxsel.Scorer)
+	if !isScorer {
+		// Ranked-context caching is per (query, k); resolve query by query.
+		for i, q := range queries {
+			out[i] = cs.Select(g, q, k)
+		}
+		return out
+	}
+	prefix := cs.prefix()
+	keys := make([]string, len(queries))
+	var missIdx []int
+	var missQueries [][]NodeID
+	for i, q := range queries {
+		key, cacheable := qcache.Key(prefix, q)
+		if cacheable {
+			if v, hit := cs.e.cache.Get(key); hit {
+				out[i] = ctxsel.TopKFromScores(v.([]float64), q, k)
+				continue
+			}
+			keys[i] = key
+		}
+		// Cache misses and uncacheable (duplicate-node) queries both go to
+		// the solver; only the former are stored afterwards.
+		missIdx = append(missIdx, i)
+		missQueries = append(missQueries, q)
+	}
+	if len(missQueries) == 0 {
+		return out
+	}
+	var scores [][]float64
+	if bs, ok := cs.inner.(ctxsel.BatchScorer); ok {
+		scores = bs.ScoresBatch(g, missQueries)
+	} else {
+		scores = make([][]float64, len(missQueries))
+		for j, q := range missQueries {
+			scores[j] = scorer.Scores(g, q)
+		}
+	}
+	for j, i := range missIdx {
+		if keys[i] != "" {
+			cs.e.cache.PutSized(keys[i], scores[j], qcache.LayerSelector, scoresFootprint(scores[j], keys[i]))
+		}
+		out[i] = ctxsel.TopKFromScores(scores[j], queries[i], k)
+	}
+	return out
 }
 
 // cachedSelectorFor wraps sel with the engine cache unless caching is
@@ -254,9 +353,15 @@ func (e *Engine) coreOptions() core.Options {
 	return core.Options{
 		ContextSize: e.opt.ContextSize,
 		Selector:    e.cachedSelectorFor(e.selector()),
-		Test:        stats.Multinomial{Alpha: e.opt.Alpha, Seed: e.opt.Seed},
+		Test: stats.Multinomial{
+			Alpha:      e.opt.Alpha,
+			Seed:       e.opt.Seed,
+			Samples:    e.opt.TestSamples,
+			ExactLimit: e.opt.TestExactLimit,
+		},
 		SkipInverse: !e.opt.IncludeInverse,
 		Policy:      policy,
+		Parallelism: e.opt.Parallelism,
 		Seed:        e.opt.Seed,
 		TestCache:   e.cache,
 	}
@@ -269,6 +374,25 @@ func (e *Engine) Search(query []NodeID) (Result, error) {
 		return Result{}, fmt.Errorf("notable: empty query")
 	}
 	return core.FindNC(e.g, query, e.coreOptions()), nil
+}
+
+// SearchBatch runs Search for every query in one batched pass and returns
+// one Result per query, in order. The batch amortizes the cold path:
+// per-query cache consults come first, the misses enter one multi-source
+// PageRank solve (unique seeds across the batch solved once, dense
+// iterations blocked through the multi-vector gather kernel), and the
+// comparison stages fan out through the process-wide executor. Results
+// are bitwise identical to calling Search per query — batching, like
+// caching, only removes repeated work — for every batch size and
+// parallelism. Batches of independent cold queries (eval sweeps, batch
+// entity profiling, bursty serving traffic) are the intended workload.
+func (e *Engine) SearchBatch(queries [][]NodeID) ([]Result, error) {
+	for i, q := range queries {
+		if len(q) == 0 {
+			return nil, fmt.Errorf("notable: empty query at batch index %d", i)
+		}
+	}
+	return core.FindNCBatch(e.g, queries, e.coreOptions()), nil
 }
 
 // SearchNames resolves entity names and runs Search.
