@@ -4,6 +4,7 @@
 //	ncsearch -dataset yago -q "Angela Merkel,Barack Obama" -k 100
 //	ncsearch -graph facts.tsv -q "Camera Alpha-7,Camera X-Pro9"
 //	ncsearch -dataset yago -queries sweep.txt -k 30
+//	ncsearch -dataset yago -selector randomwalk -refine
 //
 // The query is resolved against node names (fuzzy matching included), the
 // context is selected with ContextRW (or -selector randomwalk), and the
@@ -14,18 +15,27 @@
 // (comma-separated entity names, # starts a comment); the whole file runs
 // as one Engine.SearchBatch — amortizing graph traversal across the
 // queries — and per-query plus aggregate timing is reported.
+//
+// With -refine, queries are read interactively from stdin — one per
+// line — against a single warm engine, the intended exploratory loop:
+// add or remove one entity and re-search. Each answer reports its
+// latency and the per-layer cache-hit deltas, so the fast path (seed
+// vectors with -selector randomwalk, memoized null distributions, warm
+// selector entries) is directly observable from the terminal.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/gen"
+	"repro/internal/qcache"
 )
 
 func main() {
@@ -34,6 +44,7 @@ func main() {
 		dataset   = flag.String("dataset", "", "built-in dataset: yago | lmdb | authors | products | figure1")
 		queryStr  = flag.String("q", "", "comma-separated query entity names")
 		queryFile = flag.String("queries", "", "file with one query per line (comma-separated names): batch mode")
+		refine    = flag.Bool("refine", false, "interactive mode: read one query per line from stdin against a single warm engine")
 		k         = flag.Int("k", 100, "context size |C|")
 		selector  = flag.String("selector", "contextrw", "context selector: contextrw | randomwalk | simrank | jaccard")
 		walks     = flag.Int("walks", 200000, "PathMining walk budget")
@@ -45,8 +56,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if *queryStr == "" && *queryFile == "" {
-		fmt.Fprintln(os.Stderr, "ncsearch: -q or -queries is required")
+	if *queryStr == "" && *queryFile == "" && !*refine {
+		fmt.Fprintln(os.Stderr, "ncsearch: -q, -queries, or -refine is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -66,6 +77,13 @@ func main() {
 		Seed:        *seed,
 	})
 
+	if *refine {
+		if err := runRefine(engine, os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "ncsearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *queryFile != "" {
 		if err := runBatch(engine, g, *queryFile); err != nil {
 			fmt.Fprintln(os.Stderr, "ncsearch:", err)
@@ -74,12 +92,7 @@ func main() {
 		return
 	}
 
-	var names []string
-	for _, part := range strings.Split(*queryStr, ",") {
-		if s := strings.TrimSpace(part); s != "" {
-			names = append(names, s)
-		}
-	}
+	names := splitNames(*queryStr)
 	query, err := engine.Resolve(names...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncsearch:", err)
@@ -150,13 +163,7 @@ func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		var names []string
-		for _, part := range strings.Split(line, ",") {
-			if s := strings.TrimSpace(part); s != "" {
-				names = append(names, s)
-			}
-		}
-		query, err := engine.Resolve(names...)
+		query, err := engine.Resolve(splitNames(line)...)
 		if err != nil {
 			return fmt.Errorf("line %q: %w", line, err)
 		}
@@ -196,6 +203,109 @@ func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
 			st.Hits, st.Misses, st.Bytes/1024)
 	}
 	fmt.Println()
+	return nil
+}
+
+// splitNames splits a comma-separated entity list, trimming blanks.
+func splitNames(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(part); t != "" {
+			names = append(names, t)
+		}
+	}
+	return names
+}
+
+// cacheDelta renders the per-layer hit/miss movement between two cache
+// snapshots, skipping idle layers.
+func cacheDelta(before, after qcache.Stats) string {
+	var b strings.Builder
+	for l := 0; l < qcache.NumLayers; l++ {
+		dh := after.Layers[l].Hits - before.Layers[l].Hits
+		dm := after.Layers[l].Misses - before.Layers[l].Misses
+		if dh == 0 && dm == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s +%dh/+%dm", qcache.Layer(l), dh, dm)
+	}
+	if b.Len() == 0 {
+		return "no cache traffic"
+	}
+	return b.String()
+}
+
+// runRefine reads one query per line from r and serves each from the same
+// warm engine — the interactive refinement loop. Every answer prints its
+// latency, a result summary, and the per-layer cache deltas; a blank line
+// or EOF ends the session with the aggregate cache statistics.
+func runRefine(engine *notable.Engine, r io.Reader) error {
+	fmt.Println("refine mode: one query per line (comma-separated entity names); blank line or ctrl-d ends")
+	sc := bufio.NewScanner(r)
+	queries := 0
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			break
+		}
+		if strings.HasPrefix(line, "#") {
+			fmt.Print("> ")
+			continue
+		}
+		query, err := engine.Resolve(splitNames(line)...)
+		if err != nil {
+			fmt.Println(err)
+			for _, n := range splitNames(line) {
+				if hits := engine.Suggest(n, 3); len(hits) > 0 {
+					fmt.Printf("  did you mean for %q:", n)
+					for _, h := range hits {
+						fmt.Printf(" %q", h.Name)
+					}
+					fmt.Println()
+				}
+			}
+			fmt.Print("> ")
+			continue
+		}
+		before := engine.CacheStats()
+		start := time.Now()
+		res, err := engine.Search(query)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		after := engine.CacheStats()
+		queries++
+		notables := res.NotableOnly()
+		fmt.Printf("%v — %d context nodes, %d notable / %d tested  [%s]\n",
+			elapsed, len(res.Context), len(notables), len(res.Characteristics),
+			cacheDelta(before, after))
+		for j, c := range notables {
+			if j >= 5 {
+				fmt.Printf("      ... %d more\n", len(notables)-j)
+				break
+			}
+			fmt.Printf("      %-24s score=%.4f via %s\n", c.Name, c.Score, c.Kind)
+		}
+		fmt.Print("> ")
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	st := engine.CacheStats()
+	fmt.Printf("\nsession: %d queries; cache: %d hits, %d misses, %d evictions, %d KiB resident over %d shards\n",
+		queries, st.Hits, st.Misses, st.Evictions, st.Bytes/1024, st.Shards)
+	for l := 0; l < qcache.NumLayers; l++ {
+		ls := st.Layers[l]
+		if ls.Hits+ls.Misses == 0 && ls.Bytes == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s %6d hits %6d misses %8d KiB\n", qcache.Layer(l), ls.Hits, ls.Misses, ls.Bytes/1024)
+	}
 	return nil
 }
 

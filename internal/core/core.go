@@ -321,7 +321,7 @@ func testLabelCached(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, opt 
 		return testLabel(g, l, query, context, opt.Test, opt.Policy, s)
 	}
 	key := keyBase + "|l" + strconv.FormatUint(uint64(l), 10)
-	if v, ok := opt.TestCache.Get(key); ok {
+	if v, ok := opt.TestCache.GetLayer(key, qcache.LayerTest); ok {
 		return v.(Characteristic).clone()
 	}
 	c := testLabel(g, l, query, context, opt.Test, opt.Policy, s)

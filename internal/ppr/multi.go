@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/kg"
+	"repro/internal/qcache"
 )
 
 // PersonalizedSumMulti computes PersonalizedSum for every seed set in one
@@ -69,12 +70,31 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 		}
 	}
 
-	// Phase one: each unique seed's frontier-sparse prefix, exactly as its
+	// Seed-cache consult: unique seeds with a cached vector skip solving
+	// entirely; the rest (all of them, with no cache) enter the solve.
+	solves := make([]perSeed, len(uniq))
+	var prefix string
+	toSolve := make([]int, 0, len(uniq))
+	if opt.SeedCache != nil {
+		prefix = seedKeyPrefix(opt)
+		for i, s := range uniq {
+			if v, hit := opt.SeedCache.GetLayer(seedKey(prefix, s), qcache.LayerSeed); hit {
+				solves[i].cv = v.(*seedVec)
+				continue
+			}
+			toSolve = append(toSolve, i)
+		}
+	} else {
+		for i := range uniq {
+			toSolve = append(toSolve, i)
+		}
+	}
+
+	// Phase one: each solved seed's frontier-sparse prefix, exactly as its
 	// solo run would execute it. Solves whose frontier never saturates
 	// finish here; the rest park at their dense switch point.
-	solves := make([]perSeed, len(uniq))
 	var pending []pendingSolve
-	for i := range uniq {
+	for _, i := range toSolve {
 		ws := getWorkspace(n)
 		ws.init(g, uniq[i:i+1])
 		it := ws.sparsePhase(g, tr, opt, opt.Iterations)
@@ -109,6 +129,25 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 		}
 	}
 
+	// Store every freshly solved vector: materialize workspace results
+	// (the blocked kernel already extracted its columns) and hand them to
+	// the cache, so the next overlapping batch or refinement hits.
+	if opt.SeedCache != nil {
+		for _, i := range toSolve {
+			var v *seedVec
+			if solves[i].vec != nil {
+				v = &seedVec{dense: solves[i].vec}
+			} else {
+				v = extractSeedVec(solves[i].ws, n)
+				solves[i].ws.release()
+				solves[i].ws = nil
+			}
+			solves[i].cv = v
+			key := seedKey(prefix, uniq[i])
+			opt.SeedCache.PutSized(key, v, qcache.LayerSeed, v.footprint(len(key)))
+		}
+	}
+
 	// Fold per query in seed-list order, with the exact per-seed fold
 	// loops PersonalizedSum runs, so sums carry the same bits.
 	for qi, q := range queries {
@@ -127,11 +166,13 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 }
 
 // perSeed holds one unique seed's finished vector: still inside its
-// workspace (sparse support list or dense), or extracted to a plain
-// vector by the blocked kernel path.
+// workspace (sparse support list or dense), extracted to a plain vector
+// by the blocked kernel path, or materialized as a cached seedVec (hits
+// and — once stored — fresh solves, when the seed cache is on).
 type perSeed struct {
 	ws  *workspace
 	vec []float64
+	cv  *seedVec
 }
 
 // foldInto accumulates the seed's vector into sum, mirroring
@@ -139,6 +180,10 @@ type perSeed struct {
 // ascending nonzero sweep for dense ones. Slot orders across distinct
 // indices never affect bits — each slot receives one add per seed.
 func (ps *perSeed) foldInto(sum []float64, n int) {
+	if ps.cv != nil {
+		ps.cv.foldInto(sum)
+		return
+	}
 	if ps.vec != nil {
 		for i, x := range ps.vec {
 			if x != 0 {

@@ -43,6 +43,13 @@
 // multi-source solve — unique seeds solved once, dense tails blocked
 // through the multi-vector gather kernel — bitwise identical to per-query
 // PersonalizedSum calls.
+//
+// Options.SeedCache (seedcache.go) extends the same amortization across
+// sequential calls: single-seed vectors are memoized in a byte-budgeted
+// store, so a query overlapping an earlier one — interactive refinement,
+// the add-one-entity/re-search loop — solves only its new seeds. Cache
+// state, like batching and parallelism, never changes a bit of any
+// result.
 package ppr
 
 import (
@@ -50,6 +57,7 @@ import (
 	"sync"
 
 	"repro/internal/kg"
+	"repro/internal/qcache"
 	"repro/internal/topk"
 )
 
@@ -71,6 +79,18 @@ type Options struct {
 	// never exceeds it). 0 uses GOMAXPROCS. Results are bitwise identical
 	// for every setting.
 	Parallelism int
+
+	// SeedCache, when non-nil, memoizes single-seed PageRank vectors
+	// across PersonalizedSum and PersonalizedSumMulti calls (stored under
+	// qcache.LayerSeed, byte-accounted): each distinct seed consults the
+	// cache first and only the misses are solved, so sequential
+	// overlapping queries — interactive refinement — pay one solve per
+	// new seed instead of one per query seed. Caching never changes
+	// results: cached and fresh vectors carry identical bits and fold in
+	// the same order (see seedcache.go). Keys fold Damping, Iterations,
+	// and Uniform but not graph identity — a cache must serve exactly one
+	// graph.
+	SeedCache *qcache.Cache
 
 	// gatherWorkers is the resolved per-run gather parallelism, set by the
 	// exported entry points before personalizedInto runs.
@@ -362,7 +382,11 @@ func Personalized(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 // Seeds are processed in blocks of Parallelism workers, each folding its
 // per-seed vector into the sum in ascending seed order, so the result is
 // bitwise identical for every Parallelism setting while peak memory stays
-// at O(workers·n).
+// at O(workers·n). With Options.SeedCache set, per-seed vectors are
+// served from the cache when present and stored after solving, and only
+// the missing seeds enter the pool — the interactive-refinement fast
+// path; the fold replicates the cacheless additions exactly, so every
+// cache state returns the same bits.
 func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
@@ -373,6 +397,16 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	budget := opt.Parallelism
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
+	}
+	if opt.SeedCache != nil {
+		vecs := resolveSeedVecs(g, seeds, opt, budget)
+		// Fold in seed-list order — the same per-slot addition sequence as
+		// the workspace fold below, whichever mix of cached and fresh
+		// vectors resolved.
+		for _, s := range seeds {
+			vecs[s].foldInto(sum)
+		}
+		return sum
 	}
 	workers := budget
 	if workers > len(seeds) {
@@ -385,20 +419,12 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	for i := range wss {
 		wss[i] = getWorkspace(n)
 	}
-	var wg sync.WaitGroup
 	for base := 0; base < len(seeds); base += workers {
 		m := len(seeds) - base
 		if m > workers {
 			m = workers
 		}
-		wg.Add(m)
-		for j := 0; j < m; j++ {
-			go func(j int) {
-				defer wg.Done()
-				personalizedInto(g, seeds[base+j:base+j+1], opt, wss[j])
-			}(j)
-		}
-		wg.Wait()
+		runSeedBlock(g, seeds[base:base+m], opt, wss[:m])
 		// Fold in ascending seed order: addition order per element is the
 		// same as a sequential loop, for any worker count.
 		for j := 0; j < m; j++ {
@@ -421,6 +447,21 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 		ws.release()
 	}
 	return sum
+}
+
+// runSeedBlock solves one single-seed run per seed concurrently, each
+// into its own workspace — the worker block shared by the cacheless pool
+// and the seed-cache miss path.
+func runSeedBlock(g *kg.Graph, seeds []kg.NodeID, opt Options, wss []*workspace) {
+	var wg sync.WaitGroup
+	wg.Add(len(seeds))
+	for j := range seeds {
+		go func(j int) {
+			defer wg.Done()
+			personalizedInto(g, seeds[j:j+1], opt, wss[j])
+		}(j)
+	}
+	wg.Wait()
 }
 
 // TopK returns the k highest-ranked nodes by PersonalizedSum, excluding the

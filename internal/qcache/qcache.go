@@ -1,8 +1,36 @@
-// Package qcache provides the engine-level query cache: a small,
+// Package qcache provides the engine-level query cache: a bounded,
 // thread-safe LRU keyed by canonicalized query strings, memoizing the
-// expensive half of a notable-characteristics search (metapath mining and
-// selector score vectors) so repeated queries — the heavy-traffic case —
-// skip mining and walking entirely.
+// expensive stages of a notable-characteristics search so repeated and
+// overlapping queries — the heavy-traffic case — skip recomputation.
+//
+// # Layers
+//
+// One cache holds entries from several pipeline stages, distinguished by
+// a Layer tag for per-layer accounting and budgeting: selector score
+// vectors and ranked contexts (LayerSelector), per-label test records
+// (LayerTest), single-seed PageRank vectors (LayerSeed), and Monte-Carlo
+// null distributions (LayerNull). The cache itself treats layer values
+// opaquely; layers exist so Stats can report residency and hit rates per
+// stage and so a deployment can bound the big layers (seed vectors are
+// ~8 bytes per graph node each) independently of the total budget.
+//
+// # Sharding
+//
+// The cache is optionally sharded shared-nothing: keys hash over 2^p
+// shards, each with its own mutex, recency lists, and slice of every
+// byte budget, so concurrent serving traffic from many goroutines does
+// not serialize on one lock. Stats aggregates over the shards. Sharding
+// trades exactness for concurrency: LRU order and budget enforcement are
+// per shard, so a tight byte budget split over many shards can briefly
+// exceed the global bound when an entry is larger than one shard's
+// slice (each shard keeps its newest entry rather than thrashing). The
+// default of one shard keeps the seed's exact single-LRU semantics;
+// concurrent serving deployments opt in via the engine's CacheShards.
+//
+// Within one shard the recency order across layers is exact: each entry
+// carries a monotone sequence number, and capacity/byte-budget eviction
+// removes the globally least-recently-used entry regardless of layer
+// (per-layer budgets evict within their own layer only).
 //
 // # Key scheme
 //
@@ -13,58 +41,126 @@
 // that permutations of one entity set share an entry. Queries listing the
 // same node twice are not canonicalizable (duplicate seeds change
 // PageRank's personalization mass) — callers bypass the cache for those.
+// MultisetKey keeps duplicates for the order-independent but
+// multiplicity-sensitive comparison stage.
 //
-// Values are opaque to the cache; the engine stores dense score vectors
-// and ranked context slices. Both are treated as immutable once cached.
+// Values are opaque to the cache and treated as immutable once cached.
+// Keys never embed graph identity: a cache must serve exactly one graph.
 package qcache
 
 import (
 	"container/list"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
 )
 
 // Layer identifies which pipeline stage an entry belongs to, for
-// per-layer byte accounting. The cache itself treats layers opaquely.
+// per-layer accounting and budgeting. The cache itself treats layer
+// values opaquely.
 type Layer uint8
 
 const (
 	// LayerSelector holds selector score vectors and ranked contexts —
-	// the big entries, ~8 bytes per graph node each.
+	// large entries, ~8 bytes per graph node each.
 	LayerSelector Layer = iota
 	// LayerTest holds per-label test records — small entries.
 	LayerTest
+	// LayerSeed holds single-seed PageRank vectors — the per-seed store
+	// behind interactive-refinement reuse; large entries, up to ~8 bytes
+	// per graph node each (less when a solve stayed frontier-sparse).
+	LayerSeed
+	// LayerNull holds Monte-Carlo null distributions of the multinomial
+	// test — ~8 bytes per sample each.
+	LayerNull
 	numLayers
 )
 
-// Cache is a bounded LRU map with hit/miss/eviction counters and
+// NumLayers is the number of distinct cache layers, sizing the exported
+// per-layer arrays in Config and Stats.
+const NumLayers = int(numLayers)
+
+// LayerNames labels the layers in constant order, for rendering Stats
+// tables.
+var LayerNames = [NumLayers]string{
+	LayerSelector: "selector",
+	LayerTest:     "test",
+	LayerSeed:     "seed",
+	LayerNull:     "null",
+}
+
+// String implements fmt.Stringer.
+func (l Layer) String() string {
+	if int(l) < NumLayers {
+		return LayerNames[l]
+	}
+	return "unknown"
+}
+
+// Config configures a cache. The zero value of every field selects a
+// default; Capacity <= 0 still means "caching disabled" (NewSharded
+// returns the nil no-op cache).
+type Config struct {
+	// Capacity bounds the total entry count across all shards and layers.
+	// Sharding splits it exactly (shards sum to Capacity); the only slack
+	// is the newest-entry rule — a shard whose slice rounds to zero still
+	// keeps one entry rather than thrashing — so a Capacity below the
+	// shard count can round up in practice.
+	Capacity int
+	// ByteBudget, when > 0, bounds the total of all size hints, split
+	// evenly across shards. Eviction is LRU within each shard.
+	ByteBudget int64
+	// Shards is the shard count, rounded up to a power of two; 0 or 1
+	// selects the single exact LRU.
+	Shards int
+	// LayerBudgets optionally bounds individual layers by bytes (0 = no
+	// per-layer bound). Like ByteBudget, each is split across shards, and
+	// exceeding one evicts least-recently-used entries of that layer only.
+	LayerBudgets [NumLayers]int64
+}
+
+// Cache is a bounded, sharded LRU map with hit/miss/eviction counters and
 // per-layer byte accounting. A nil *Cache is a valid no-op cache: Get
 // always misses and Put does nothing.
 type Cache struct {
+	shards []*shard
+	mask   uint64
+}
+
+// shard is one shared-nothing slice of the cache: its own lock, items,
+// per-layer recency lists, counters, and split of every budget.
+type shard struct {
 	mu         sync.Mutex
 	capacity   int
-	byteBudget int64      // 0 = entries-only bound
-	ll         *list.List // front = most recently used
+	byteBudget int64 // 0 = entries-only bound
+	layerMax   [numLayers]int64
+	seq        uint64 // monotone recency stamp, shared by all layers
+	ll         [numLayers]*list.List
 	items      map[string]*list.Element
 	bytes      [numLayers]int64
-	hits       uint64
-	misses     uint64
+	hits       [numLayers]uint64
+	misses     [numLayers]uint64
 	evictions  uint64
 }
 
-// entry is one cached key/value pair, stored in the recency list.
+// entry is one cached key/value pair, stored in its layer's recency list.
+// The size hint is stored with the entry, so eviction and refresh adjust
+// the per-layer totals from the recorded value rather than recomputing a
+// caller-side estimate — the invariant behind Stats bytes never going
+// negative under concurrent Put/evict.
 type entry struct {
 	key   string
 	val   any
 	layer Layer
 	bytes int64
+	seq   uint64
 }
 
 // New returns a cache bounded to capacity entries. capacity <= 0 returns
 // nil, the no-op cache.
 func New(capacity int) *Cache {
-	return NewBudget(capacity, 0)
+	return NewSharded(Config{Capacity: capacity})
 }
 
 // NewBudget returns a cache bounded to capacity entries and, when
@@ -73,32 +169,111 @@ func New(capacity int) *Cache {
 // first, exactly as the entry cap does. capacity <= 0 returns nil, the
 // no-op cache.
 func NewBudget(capacity int, byteBudget int64) *Cache {
-	if capacity <= 0 {
+	return NewSharded(Config{Capacity: capacity, ByteBudget: byteBudget})
+}
+
+// NewSharded returns a cache for cfg — the general constructor behind
+// New and NewBudget, and the only one exposing sharding and per-layer
+// budgets. cfg.Capacity <= 0 returns nil, the no-op cache.
+func NewSharded(cfg Config) *Cache {
+	if cfg.Capacity <= 0 {
 		return nil
 	}
-	return &Cache{
-		capacity:   capacity,
-		byteBudget: byteBudget,
-		ll:         list.New(),
-		items:      make(map[string]*list.Element, capacity),
+	n := shardCount(cfg.Shards)
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		// The entry cap splits exactly — earlier shards take the division
+		// remainder — so the shards sum to the configured Capacity.
+		capacity := cfg.Capacity / n
+		if i < cfg.Capacity%n {
+			capacity++
+		}
+		sh := &shard{
+			capacity:   capacity,
+			byteBudget: ceilDiv64(cfg.ByteBudget, int64(n)),
+			items:      make(map[string]*list.Element),
+		}
+		for l := range sh.ll {
+			sh.ll[l] = list.New()
+			sh.layerMax[l] = ceilDiv64(cfg.LayerBudgets[l], int64(n))
+		}
+		c.shards[i] = sh
 	}
+	return c
+}
+
+// shardCount rounds n up to a power of two in [1, 1024].
+func shardCount(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a parameters shared by shard
+// routing and the Hash* key helpers. (The stdlib hash/fnv allocates per
+// hasher; these hand-rolled folds stay on the stack.)
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvByte folds one byte into an FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// shardFor picks the shard owning key by FNV-1a hash.
+func (c *Cache) shardFor(key string) *shard {
+	h := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		h = fnvByte(h, key[i])
+	}
+	return c.shards[h&c.mask]
 }
 
 // Get returns the cached value for key and marks it most recently used.
+// A miss is attributed to LayerSelector; callers that track per-layer hit
+// rates use GetLayer.
 func (c *Cache) Get(key string) (any, bool) {
+	return c.GetLayer(key, LayerSelector)
+}
+
+// GetLayer is Get with an explicit layer to attribute a miss to (a hit is
+// always attributed to the layer the entry was stored under). The layer
+// does not affect lookup — keys are global — only the Stats counters.
+func (c *Cache) GetLayer(key string, layer Layer) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
 	if !ok {
-		c.misses++
+		sh.misses[layer]++
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	e := el.Value.(*entry)
+	sh.hits[e.layer]++
+	sh.seq++
+	e.seq = sh.seq
+	sh.ll[e.layer].MoveToFront(el)
+	return e.val, true
 }
 
 // Put stores val under key with a zero size hint in the selector layer —
@@ -109,74 +284,127 @@ func (c *Cache) Put(key string, val any) {
 
 // PutSized stores val under key, attributing bytes to layer for the
 // per-layer accounting, and evicts least-recently-used entries while the
-// cache exceeds either its entry cap or its byte budget. The hint is the
-// caller's estimate of the value's footprint; the cache never inspects
-// values. Storing an existing key refreshes its value, hint, and recency.
+// cache exceeds its entry cap, its byte budget, or the layer's budget.
+// The hint is the caller's estimate of the value's footprint; the cache
+// never inspects values. Storing an existing key refreshes its value,
+// hint, layer, and recency.
 func (c *Cache) PutSized(key string, val any, layer Layer, bytes int64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.seq++
+	if el, ok := sh.items[key]; ok {
 		e := el.Value.(*entry)
-		c.bytes[e.layer] -= e.bytes
-		e.val, e.layer, e.bytes = val, layer, bytes
-		c.bytes[layer] += bytes
-		c.ll.MoveToFront(el)
-		c.evictOver()
+		sh.bytes[e.layer] -= e.bytes
+		sh.bytes[layer] += bytes
+		e.seq = sh.seq
+		if e.layer == layer {
+			e.val, e.bytes = val, bytes
+			sh.ll[layer].MoveToFront(el)
+		} else {
+			// A layer change moves the entry between recency lists.
+			sh.ll[e.layer].Remove(el)
+			e.val, e.layer, e.bytes = val, layer, bytes
+			sh.items[key] = sh.ll[layer].PushFront(e)
+		}
+		sh.evictOver()
 		return
 	}
-	c.bytes[layer] += bytes
-	c.items[key] = c.ll.PushFront(&entry{key: key, val: val, layer: layer, bytes: bytes})
-	c.evictOver()
+	sh.bytes[layer] += bytes
+	sh.items[key] = sh.ll[layer].PushFront(&entry{key: key, val: val, layer: layer, bytes: bytes, seq: sh.seq})
+	sh.evictOver()
 }
 
-// evictOver drops LRU entries until both bounds hold. The newest entry is
-// never dropped: a single value larger than the whole byte budget still
-// caches (and evicts everything else) rather than thrashing on every Put.
-func (c *Cache) evictOver() {
-	for c.ll.Len() > 1 &&
-		(c.ll.Len() > c.capacity || (c.byteBudget > 0 && c.totalBytes() > c.byteBudget)) {
-		oldest := c.ll.Back()
-		e := oldest.Value.(*entry)
-		c.ll.Remove(oldest)
-		delete(c.items, e.key)
-		c.bytes[e.layer] -= e.bytes
-		c.evictions++
+// evictOver drops LRU entries until every bound holds: first each
+// over-budget layer sheds its own least-recently-used entries, then the
+// entry cap and total byte budget shed the globally least-recently-used
+// entry across layers (the minimum recency stamp over the list backs —
+// exact LRU, since the globally oldest entry is necessarily the back of
+// its layer's list). The newest entry of a list is never dropped: a
+// single value larger than the whole budget still caches (and evicts
+// everything else) rather than thrashing on every Put.
+func (sh *shard) evictOver() {
+	for l := range sh.ll {
+		for sh.layerMax[l] > 0 && sh.bytes[l] > sh.layerMax[l] && sh.ll[l].Len() > 1 {
+			sh.remove(sh.ll[l].Back())
+		}
+	}
+	for len(sh.items) > 1 &&
+		(len(sh.items) > sh.capacity || (sh.byteBudget > 0 && sh.totalBytes() > sh.byteBudget)) {
+		var oldest *list.Element
+		oseq := uint64(math.MaxUint64)
+		for l := range sh.ll {
+			if b := sh.ll[l].Back(); b != nil {
+				if e := b.Value.(*entry); e.seq < oseq {
+					oseq, oldest = e.seq, b
+				}
+			}
+		}
+		sh.remove(oldest)
 	}
 }
 
-func (c *Cache) totalBytes() int64 {
+// remove drops one entry, updating the map, its layer's bytes, and the
+// eviction counter.
+func (sh *shard) remove(el *list.Element) {
+	e := el.Value.(*entry)
+	sh.ll[e.layer].Remove(el)
+	delete(sh.items, e.key)
+	sh.bytes[e.layer] -= e.bytes
+	sh.evictions++
+}
+
+func (sh *shard) totalBytes() int64 {
 	var t int64
-	for _, b := range c.bytes {
+	for _, b := range sh.bytes {
 		t += b
 	}
 	return t
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries across all shards.
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// LayerStats is one layer's slice of a Stats snapshot.
+type LayerStats struct {
+	// Hits and Misses count GetLayer outcomes attributed to the layer.
+	Hits, Misses uint64
+	// Bytes sums the layer's resident size hints; ByteBudget is its
+	// configured per-layer bound (0 = none).
+	Bytes, ByteBudget int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters, aggregated
+// over all shards.
 type Stats struct {
-	// Hits and Misses count Get outcomes; Evictions counts entries
-	// dropped to make room.
+	// Hits and Misses count Get outcomes across every layer; Evictions
+	// counts entries dropped to make room.
 	Hits, Misses, Evictions uint64
-	// Size is the current entry count, Capacity the bound.
-	Size, Capacity int
-	// SelectorBytes and TestBytes sum the resident size hints per layer;
-	// Bytes is their total.
-	SelectorBytes, TestBytes, Bytes int64
-	// ByteBudget is the configured byte bound (0 = none).
+	// Size is the current entry count, Capacity the bound, Shards the
+	// shared-nothing shard count (0 for the nil cache).
+	Size, Capacity, Shards int
+	// SelectorBytes, TestBytes, SeedBytes, and NullBytes sum the resident
+	// size hints per layer; Bytes is their total.
+	SelectorBytes, TestBytes, SeedBytes, NullBytes, Bytes int64
+	// ByteBudget is the configured total byte bound (0 = none).
 	ByteBudget int64
+	// Layers breaks hits, misses, residency, and budget down by layer,
+	// indexed by the Layer constants.
+	Layers [NumLayers]LayerStats
 }
 
 // Stats returns the current counters. A nil cache reports zeros.
@@ -184,19 +412,32 @@ func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Size:          c.ll.Len(),
-		Capacity:      c.capacity,
-		SelectorBytes: c.bytes[LayerSelector],
-		TestBytes:     c.bytes[LayerTest],
-		Bytes:         c.bytes[LayerSelector] + c.bytes[LayerTest],
-		ByteBudget:    c.byteBudget,
+	var st Stats
+	st.Shards = len(c.shards)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Evictions += sh.evictions
+		st.Size += len(sh.items)
+		st.Capacity += sh.capacity
+		st.ByteBudget += sh.byteBudget
+		for l := 0; l < NumLayers; l++ {
+			st.Layers[l].Hits += sh.hits[l]
+			st.Layers[l].Misses += sh.misses[l]
+			st.Layers[l].Bytes += sh.bytes[l]
+			st.Layers[l].ByteBudget += sh.layerMax[l]
+		}
+		sh.mu.Unlock()
 	}
+	for l := 0; l < NumLayers; l++ {
+		st.Hits += st.Layers[l].Hits
+		st.Misses += st.Layers[l].Misses
+		st.Bytes += st.Layers[l].Bytes
+	}
+	st.SelectorBytes = st.Layers[LayerSelector].Bytes
+	st.TestBytes = st.Layers[LayerTest].Bytes
+	st.SeedBytes = st.Layers[LayerSeed].Bytes
+	st.NullBytes = st.Layers[LayerNull].Bytes
+	return st
 }
 
 // Key canonicalizes a query node set under an options prefix: IDs are
@@ -243,15 +484,26 @@ func MultisetKey(prefix string, ids []uint32) string {
 // stand-in for long ranked lists (a search's 100-node context) inside
 // cache keys, where embedding every ID would dwarf the rest of the key.
 func HashIDs(ids []uint32) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := fnvOffset64
 	for _, id := range ids {
 		for shift := 0; shift < 32; shift += 8 {
-			h ^= uint64(byte(id >> shift))
-			h *= prime64
+			h = fnvByte(h, byte(id>>shift))
+		}
+	}
+	return h
+}
+
+// HashFloats returns the 64-bit FNV-1a hash of the IEEE-754 bits of vals
+// in order — the compact stand-in for probability vectors inside cache
+// keys (the multinomial null-distribution memo). Callers needing
+// correctness against the 2^-64 collision odds store the vector alongside
+// the value and verify bitwise equality on a hit.
+func HashFloats(vals []float64) uint64 {
+	h := fnvOffset64
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for shift := 0; shift < 64; shift += 8 {
+			h = fnvByte(h, byte(bits>>shift))
 		}
 	}
 	return h

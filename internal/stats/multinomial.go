@@ -9,6 +9,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/qcache"
 )
 
 // DefaultAlpha is the paper's significance level: a characteristic is
@@ -37,6 +39,16 @@ type Multinomial struct {
 	Samples int
 	// Seed makes Monte-Carlo runs deterministic.
 	Seed int64
+	// Nulls, when non-nil, memoizes Monte-Carlo null distributions per
+	// (π, n, Samples, Seed) across tests (qcache.LayerNull): the sampled
+	// statistics are observation-independent, so once one test has drawn
+	// the rng sequence for a context distribution and total, every later
+	// test against the same π and n — repeated contexts, the interactive
+	// refinement workload — skips sampling outright and reads its p-value
+	// off the stored order statistics. Memo hits are bitwise identical to
+	// fresh sampling (see nullDist); the exact-enumeration path never
+	// consults the memo.
+	Nulls *qcache.Cache
 }
 
 // Result reports a multinomial test outcome.
@@ -225,7 +237,26 @@ func guideBuckets(k int) int {
 // "first index whose cumulative value exceeds u" question, so the sampled
 // category sequence — and therefore the estimate — is bit-identical to the
 // plain binary search it replaces.
+//
+// With m.Nulls set, the sampled log-probabilities — which depend only on
+// (p, n, Samples, Seed), never on the observation — are memoized sorted;
+// a repeat of the same null distribution answers from the stored order
+// statistics (see nullPValue) without drawing a single sample.
 func (m Multinomial) monteCarlo(p, logp []float64, logX float64, n int, s *Scratch) float64 {
+	threshold := logX + logProbTolerance
+	var key string
+	var rec []float64
+	if m.Nulls != nil {
+		key = nullKey(p, n, m.Samples, m.Seed)
+		if v, ok := m.Nulls.GetLayer(key, qcache.LayerNull); ok {
+			if nd := v.(*nullDist); nd.matches(p) {
+				return nullPValue(nd.lps, threshold, m.Samples)
+			}
+			// A 64-bit hash collision left a different π under this key:
+			// fall through, resample, and overwrite.
+		}
+		rec = make([]float64, 0, m.Samples)
+	}
 	rng := rand.New(rand.NewSource(m.Seed))
 	s.cdf = grow(s.cdf, len(p))
 	cdf := s.cdf
@@ -290,14 +321,22 @@ func (m Multinomial) monteCarlo(p, logp []float64, logX float64, n int, s *Scrat
 			}
 			lp += t
 		}
-		if lp <= logX+logProbTolerance {
+		if lp <= threshold {
 			hits++
+		}
+		if rec != nil {
+			rec = append(rec, lp)
 		}
 		for _, c := range touched {
 			counts[c] = 0
 		}
 	}
 	s.comp = touched[:0] // keep the grown capacity for the next test
+	if key != "" {
+		nd := &nullDist{p: append([]float64(nil), p...), lps: rec}
+		sort.Float64s(nd.lps)
+		m.Nulls.PutSized(key, nd, qcache.LayerNull, nd.footprint(len(key)))
+	}
 	return float64(hits+1) / float64(m.Samples+1)
 }
 

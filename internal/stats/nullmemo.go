@@ -1,0 +1,79 @@
+// Null-distribution memoization for the Monte-Carlo multinomial test.
+//
+// The sampled statistic of one Monte-Carlo run — the sequence of sample
+// log-probabilities drawn from Mult(n, π) under a fixed seed — depends
+// only on (π, n, Samples, Seed), never on the observation being tested.
+// The p-value is a pure function of that sequence: the count of samples
+// whose log-probability falls at or below the observation's. Counting is
+// order-independent, so storing the sequence SORTED loses nothing: the
+// count becomes one binary search over the order statistics, and the
+// result carries exactly the bits of the sampling loop it replaces.
+//
+// Entries are keyed by a 64-bit hash of π's IEEE-754 bits plus n,
+// Samples, and Seed, and store π itself for bitwise verification on a
+// hit — a hash collision is detected and treated as a miss, so the memo
+// can never serve a wrong distribution.
+package stats
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/qcache"
+)
+
+// nullDist is one memoized null distribution: the normalized probability
+// vector it was sampled from (for hit verification) and the sorted
+// per-sample log-probabilities. Immutable once cached.
+type nullDist struct {
+	p   []float64
+	lps []float64
+}
+
+// matches reports whether p is bitwise identical to the vector this
+// distribution was sampled from.
+func (nd *nullDist) matches(p []float64) bool {
+	if len(p) != len(nd.p) {
+		return false
+	}
+	for i := range p {
+		if math.Float64bits(p[i]) != math.Float64bits(nd.p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// footprint estimates the entry's resident bytes for the cache's byte
+// accounting.
+func (nd *nullDist) footprint(keyLen int) int64 {
+	return 8*int64(len(nd.lps)+len(nd.p)) + int64(keyLen) + 64
+}
+
+// nullKey builds the memo key: the FNV-1a hash of π's bits plus every
+// parameter that changes the drawn sequence.
+func nullKey(p []float64, n, samples int, seed int64) string {
+	var b []byte
+	b = append(b, "mcnull|"...)
+	b = strconv.AppendUint(b, qcache.HashFloats(p), 16)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(len(p)), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(samples), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, seed, 10)
+	return string(b)
+}
+
+// nullPValue reads the Monte-Carlo p-value off sorted sample
+// log-probabilities: the hit count is the number of samples with
+// lp <= threshold — the first index past the threshold — which is
+// exactly what the sampling loop counts, so the +1-corrected estimate is
+// bit-identical to fresh sampling.
+func nullPValue(lps []float64, threshold float64, samples int) float64 {
+	hits := sort.Search(len(lps), func(i int) bool { return lps[i] > threshold })
+	return float64(hits+1) / float64(samples+1)
+}

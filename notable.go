@@ -25,14 +25,22 @@
 //
 // # Caching and determinism
 //
-// An Engine memoizes two layers of repeated work in one bounded LRU
-// (Options.CacheSize, optionally byte-budgeted via Options.CacheBytes).
+// An Engine memoizes four layers of repeated work in one bounded LRU
+// (Options.CacheSize, optionally byte-budgeted via Options.CacheBytes,
+// optionally sharded via Options.CacheShards for concurrent traffic).
 // The selector layer caches score vectors and ranked contexts, so a warm
 // query skips metapath mining and walking; the comparison layer caches
 // per-label test records, so a warm query also skips distribution
 // building and multinomial testing — a fully warm repeated Search
-// recomputes nothing but the top-k cut. CacheStats exposes the hit/miss
-// counters and the per-layer resident bytes.
+// recomputes nothing but the top-k cut. Two more layers serve the
+// interactive-refinement workload, where consecutive queries overlap
+// rather than repeat: the seed layer (Options.SeedCacheBytes) keeps
+// single-seed PageRank vectors, so adding or removing one entity from a
+// RandomWalk-selected query re-solves only the new entity; and the null
+// layer keeps the multinomial test's Monte-Carlo null distributions,
+// which depend only on the context distribution — labels whose context
+// counts survive a refinement skip the sampling loop outright.
+// CacheStats exposes hit/miss counters and resident bytes per layer.
 //
 // # Batching
 //
@@ -64,6 +72,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/kg"
 	"repro/internal/ntriples"
+	"repro/internal/ppr"
 	"repro/internal/qcache"
 	"repro/internal/search"
 	"repro/internal/stats"
@@ -134,12 +143,14 @@ type Options struct {
 	// knob here it never changes results, only wall-clock.
 	Parallelism int
 	// CacheSize bounds the engine's query cache: the number of memoized
-	// entries across both cache layers — selector score vectors/contexts,
-	// and per-label test records (see internal/qcache). 0 selects
-	// DefaultCacheSize; negative disables caching. Caching never changes
-	// results — every randomized component is seeded — it only skips
-	// repeated work: a warm repeat of a query skips metapath mining,
-	// walking, distribution building, and multinomial testing entirely.
+	// entries across all four cache layers — selector score
+	// vectors/contexts, per-label test records, per-seed PageRank
+	// vectors, and Monte-Carlo null distributions (see internal/qcache).
+	// 0 selects DefaultCacheSize; negative disables caching. Caching
+	// never changes results — every randomized component is seeded — it
+	// only skips repeated work: a warm repeat of a query skips metapath
+	// mining, walking, distribution building, and multinomial testing
+	// entirely, and an overlapping query re-solves only its new seeds.
 	CacheSize int
 	// CacheBytes optionally bounds the query cache by estimated resident
 	// bytes alongside the entry cap. Selector entries weigh ~8 bytes per
@@ -156,15 +167,44 @@ type Options struct {
 	// TestExactLimit overrides the outcome-composition count up to which
 	// the test enumerates exactly instead of sampling (default 200000).
 	TestExactLimit int
+	// SeedCacheBytes bounds the seed-vector cache layer: single-seed
+	// PageRank vectors memoized across searches (RandomWalk selection),
+	// so a query overlapping an earlier one — interactive refinement —
+	// solves only its new entities. Vectors weigh up to ~8 bytes per
+	// graph node each (less while a solve stays frontier-sparse). 0
+	// selects DefaultSeedCacheBytes; negative disables the layer. Like
+	// every cache layer it never changes results, only repeated work.
+	SeedCacheBytes int64
+	// CacheShards splits the query cache into 2^⌈log₂ shards⌉
+	// shared-nothing shards (per-shard lock and LRU, budgets split
+	// evenly) to cut mutex pressure under concurrent serving traffic.
+	// 0 or 1 keeps the single exact LRU — the default, whose byte-budget
+	// enforcement is exact; see internal/qcache for the (slight) budget
+	// slack sharding introduces.
+	CacheShards int
 }
 
 // DefaultCacheSize is the query-cache capacity used when Options.CacheSize
 // is zero. A warm query occupies one selector entry plus one entry per
 // tested label, so size CacheSize to roughly (hot queries) × (labels per
 // query + 1) — the default keeps a few hundred fully-warm queries on
-// typical label counts. (A byte-budgeted bound is a ROADMAP item; entry
-// sizes range from a per-label record to an n-float score vector.)
+// typical label counts. Entry sizes range from a per-label record to an
+// n-float score vector; Options.CacheBytes and the per-layer budgets
+// below bound the big layers by bytes.
 const DefaultCacheSize = 4096
+
+// DefaultSeedCacheBytes bounds the seed-vector layer when
+// Options.SeedCacheBytes is zero: 64 MiB keeps tens of hot entities
+// resident on million-node graphs (a dense vector is 8·n bytes) without
+// letting an entity sweep displace the rest of the cache.
+const DefaultSeedCacheBytes = 64 << 20
+
+// DefaultNullCacheBytes bounds the comparison stage's Monte-Carlo
+// null-distribution layer (~8 bytes per test sample per distinct context
+// distribution): 32 MiB holds thousands of memoized distributions at the
+// default sample count. Not separately configurable — Options.CacheBytes
+// bounds the total when set.
+const DefaultNullCacheBytes = 32 << 20
 
 // Engine runs searches against one graph. Create with NewEngine; safe for
 // concurrent use once constructed.
@@ -184,16 +224,29 @@ func NewEngine(g *Graph, opt Options) *Engine {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.NewBudget(size, opt.CacheBytes)}
+	cfg := qcache.Config{Capacity: size, ByteBudget: opt.CacheBytes, Shards: opt.CacheShards}
+	cfg.LayerBudgets[qcache.LayerNull] = DefaultNullCacheBytes
+	if opt.SeedCacheBytes >= 0 {
+		seedBudget := opt.SeedCacheBytes
+		if seedBudget == 0 {
+			seedBudget = DefaultSeedCacheBytes
+		}
+		cfg.LayerBudgets[qcache.LayerSeed] = seedBudget
+	}
+	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.NewSharded(cfg)}
 }
 
-// CacheStats reports the query cache's hit/miss/eviction counters and
-// per-layer resident bytes, aggregated over both layers: the selector
-// layer (one entry per query's score vector or ranked context, ~8 bytes
-// per graph node each) and the comparison layer (one small entry per
-// tested label). A fully warm repeated Search performs exactly one
-// selector hit plus one hit per tested label and zero misses. A
-// cache-disabled engine reports zeros.
+// CacheStats reports the query cache's counters, aggregated over all
+// shards and broken down per layer (Stats.Layers): the selector layer
+// (one entry per query's score vector or ranked context, ~8 bytes per
+// graph node each), the comparison layer (one small entry per tested
+// label), the seed layer (one PageRank vector per hot entity), and the
+// null layer (one Monte-Carlo null distribution per distinct context
+// distribution). A fully warm repeated Search performs exactly one
+// selector hit plus one hit per tested label and zero misses; a
+// refinement step shows seed-layer hits for the retained entities and
+// null-layer hits for the labels whose context distribution survived.
+// A cache-disabled engine reports zeros.
 func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 
 // Graph returns the engine's graph.
@@ -213,11 +266,21 @@ func (e *Engine) Suggest(mention string, limit int) []search.Hit {
 	return e.idx.Lookup(mention, limit)
 }
 
+// seedCache returns the cache the RandomWalk selector's per-seed PageRank
+// vectors memoize through — the engine cache, unless the layer (or
+// caching altogether) is disabled.
+func (e *Engine) seedCache() *qcache.Cache {
+	if e.opt.SeedCacheBytes < 0 {
+		return nil
+	}
+	return e.cache
+}
+
 // selector instantiates the configured context selector.
 func (e *Engine) selector() ctxsel.Selector {
 	switch e.opt.Selector {
 	case SelectorRandomWalk:
-		return ctxsel.RandomWalk{}
+		return ctxsel.RandomWalk{Opt: ppr.Options{SeedCache: e.seedCache()}}
 	case SelectorSimRank:
 		return ctxsel.SimRank{}
 	case SelectorJaccard:
@@ -358,6 +421,7 @@ func (e *Engine) coreOptions() core.Options {
 			Seed:       e.opt.Seed,
 			Samples:    e.opt.TestSamples,
 			ExactLimit: e.opt.TestExactLimit,
+			Nulls:      e.cache,
 		},
 		SkipInverse: !e.opt.IncludeInverse,
 		Policy:      policy,

@@ -152,10 +152,10 @@ func TestEngineCacheByteBudget(t *testing.T) {
 	queries := leaderQueries(t, unbounded, 6)
 	searchSequential(t, unbounded, queries)
 	full := unbounded.CacheStats()
-	if full.SelectorBytes == 0 || full.TestBytes == 0 {
-		t.Fatalf("expected both layers to report bytes: %+v", full)
+	if full.SelectorBytes == 0 || full.TestBytes == 0 || full.SeedBytes == 0 {
+		t.Fatalf("expected the selector, test, and seed layers to report bytes: %+v", full)
 	}
-	if full.Bytes != full.SelectorBytes+full.TestBytes {
+	if full.Bytes != full.SelectorBytes+full.TestBytes+full.SeedBytes+full.NullBytes {
 		t.Fatalf("Bytes must total the layers: %+v", full)
 	}
 

@@ -8,16 +8,20 @@
 #
 # The comparison fails (exit 1) when any benchmark present in both files
 # regresses by more than REGRESSION_FACTOR in ns/op, or allocates more
-# allocs/op than the baseline. Machines differ; the baseline is a guard
-# against order-of-magnitude regressions, not a calibrated SLO — rebase it
-# when landing intentional performance changes.
+# allocs/op than the baseline — exactly more for the kernel and
+# stage-level benches (whose counts are deterministic), beyond 2% for
+# the end-to-end engine benches (Engine*/SearchBatch), whose pools and
+# caches make per-run counts wobble by a few allocations. Machines
+# differ; the baseline is a guard against order-of-magnitude
+# regressions, not a calibrated SLO — rebase it when landing intentional
+# performance changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 REGRESSION_FACTOR="${REGRESSION_FACTOR:-1.5}"
-BENCH_PATTERN='BenchmarkPersonalizedYago|BenchmarkPersonalizedSumYago|BenchmarkScoresWithPaths|BenchmarkEngineWarmSearch|BenchmarkCompareSets$|BenchmarkGatherStep|BenchmarkSearchBatch'
-BENCH_PKGS="./internal/ppr/ ./internal/ctxsel/ ./internal/kg/ ./internal/core/ ."
+BENCH_PATTERN='BenchmarkPersonalizedYago|BenchmarkPersonalizedSumYago|BenchmarkScoresWithPaths|BenchmarkEngineWarmSearch|BenchmarkEngineRefineSearch|BenchmarkCompareSets$|BenchmarkGatherStep|BenchmarkSearchBatch|BenchmarkCacheContention'
+BENCH_PKGS="./internal/ppr/ ./internal/ctxsel/ ./internal/kg/ ./internal/core/ ./internal/qcache/ ."
 # 20 iterations per benchmark: at 2 iterations (the old default) single-run
 # ns/op noise routinely exceeded the regression factor; 20 keeps the whole
 # suite under a few seconds while stabilizing the comparison. -count is
@@ -69,7 +73,11 @@ awk -v factor="${REGRESSION_FACTOR}" '
                     name, cur_ns[name], base_ns[name], factor
                 fails++
             }
-            if (cur_allocs[name] > base_allocs[name]) {
+            # Kernel/stage benches pin allocs exactly; the end-to-end
+            # engine benches get 2% slack for pool-refill and
+            # cache-growth wobble.
+            slack = name ~ /BenchmarkEngine|BenchmarkSearchBatch/ ? base_allocs[name] * 0.02 : 0
+            if (cur_allocs[name] > base_allocs[name] + slack) {
                 printf "REGRESSION %s: %d allocs/op vs baseline %d\n",
                     name, cur_allocs[name], base_allocs[name]
                 fails++
