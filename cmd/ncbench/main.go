@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -39,13 +42,21 @@ func main() {
 	all := want["all"]
 	need := func(name string) bool { return all || want[name] }
 
-	if err := run(cfg, need); err != nil {
+	// Ctrl-C aborts the in-flight search experiments cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, cfg, need); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ncbench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ncbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg eval.Config, need func(string) bool) error {
+func run(ctx context.Context, cfg eval.Config, need func(string) bool) error {
 	var yago, lmdb *gen.Dataset
 	getYago := func() *gen.Dataset {
 		if yago == nil {
@@ -212,24 +223,26 @@ func run(cfg eval.Config, need func(string) bool) error {
 		fmt.Println(ac.Render())
 	}
 	if need("batch") {
-		if err := printBatch(getYago(), cfg); err != nil {
+		if err := printBatch(ctx, getYago(), cfg); err != nil {
 			return err
 		}
 	}
 	if need("refine") {
-		if err := printRefine(getYago(), cfg); err != nil {
+		if err := printRefine(ctx, getYago(), cfg); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// printBatch times Engine.SearchBatch against sequential cold Search
-// calls on the actors profile sweep — every size-5 subset of the cohort,
-// the full set, and one truncation — and prints per-query latencies and
-// the batch speedup. Caches are disabled so each side pays the full cold
-// cost; results are bitwise identical by construction.
-func printBatch(d *gen.Dataset, cfg eval.Config) error {
+// printBatch times Engine.DoBatch against sequential cold Do calls on
+// the actors profile sweep — every size-5 subset of the cohort, the full
+// set, and one truncation — prints per-query latencies and the batch
+// speedup, then streams the same mix through DoStream and reports
+// time-to-first-result against the batch barrier. Caches are disabled so
+// each side pays the full cold cost; results are bitwise identical by
+// construction.
+func printBatch(ctx context.Context, d *gen.Dataset, cfg eval.Config) error {
 	fmt.Println("timing batched vs sequential cold search (yago-like/actors sweep) ...")
 	g := d.Graph
 	g.Transitions()
@@ -237,7 +250,7 @@ func printBatch(d *gen.Dataset, cfg eval.Config) error {
 	if err != nil {
 		return err
 	}
-	var queries [][]notable.NodeID
+	var queries []notable.Query
 	for drop := 0; drop < len(cohort); drop++ {
 		q := make([]notable.NodeID, 0, len(cohort)-1)
 		for i, id := range cohort {
@@ -245,9 +258,9 @@ func printBatch(d *gen.Dataset, cfg eval.Config) error {
 				q = append(q, id)
 			}
 		}
-		queries = append(queries, q)
+		queries = append(queries, notable.Query{Nodes: q})
 	}
-	queries = append(queries, cohort, cohort[:4])
+	queries = append(queries, notable.Query{Nodes: cohort}, notable.Query{Nodes: cohort[:4]})
 
 	e := notable.NewEngine(g, notable.Options{
 		ContextSize: 30,
@@ -257,13 +270,13 @@ func printBatch(d *gen.Dataset, cfg eval.Config) error {
 	})
 	start := time.Now()
 	for _, q := range queries {
-		if _, err := e.Search(q); err != nil {
+		if _, err := e.Do(ctx, q); err != nil {
 			return err
 		}
 	}
 	seq := time.Since(start)
 	start = time.Now()
-	if _, err := e.SearchBatch(queries); err != nil {
+	if _, err := e.DoBatch(ctx, queries); err != nil {
 		return err
 	}
 	batch := time.Since(start)
@@ -271,6 +284,23 @@ func printBatch(d *gen.Dataset, cfg eval.Config) error {
 	fmt.Printf("  sequential: %v total, %v/query\n", seq, seq/time.Duration(nq))
 	fmt.Printf("  batched:    %v total, %v/query\n", batch, batch/time.Duration(nq))
 	fmt.Printf("  speedup:    %.2fx over %d queries\n", float64(seq)/float64(batch), nq)
+
+	// The same mix as a stream: first result vs the batch barrier.
+	start = time.Now()
+	var first time.Duration
+	received := 0
+	for out := range e.DoStream(ctx, queries) {
+		if out.Err != nil {
+			return out.Err
+		}
+		if received == 0 {
+			first = time.Since(start)
+		}
+		received++
+	}
+	streamTotal := time.Since(start)
+	fmt.Printf("  streamed:   first result %v (%.2fx of the %v batch barrier), all %d in %v\n",
+		first, float64(first)/float64(batch), batch, received, streamTotal)
 
 	// The same batch through a caching engine, twice: the first pass fills
 	// every layer (the overlap already hits the seed store), the second is
@@ -283,7 +313,7 @@ func printBatch(d *gen.Dataset, cfg eval.Config) error {
 	})
 	for pass := 1; pass <= 2; pass++ {
 		start = time.Now()
-		if _, err := cached.SearchBatch(queries); err != nil {
+		if _, err := cached.DoBatch(ctx, queries); err != nil {
 			return err
 		}
 		fmt.Printf("  cached engine pass %d: %v total\n", pass, time.Since(start))
@@ -313,7 +343,7 @@ func printCacheStats(st qcache.Stats) {
 // (the bounded-latency serving configuration), where the memoized null
 // distributions carry the comparison stage; the seed-vector layer carries
 // context selection. Results are bitwise identical on both sides.
-func printRefine(d *gen.Dataset, cfg eval.Config) error {
+func printRefine(ctx context.Context, d *gen.Dataset, cfg eval.Config) error {
 	fmt.Println("timing interactive refinement vs cold search (yago-like/actors ±1 sweep) ...")
 	g := d.Graph
 	g.Transitions()
@@ -371,12 +401,12 @@ func printRefine(d *gen.Dataset, cfg eval.Config) error {
 	prev := warm.CacheStats()
 	for _, step := range steps {
 		start := time.Now()
-		if _, err := warm.Search(step.q); err != nil {
+		if _, err := warm.Do(ctx, notable.Query{Nodes: step.q}); err != nil {
 			return err
 		}
 		wt := time.Since(start)
 		start = time.Now()
-		if _, err := cold.Search(step.q); err != nil {
+		if _, err := cold.Do(ctx, notable.Query{Nodes: step.q}); err != nil {
 			return err
 		}
 		ct := time.Since(start)

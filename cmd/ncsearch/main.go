@@ -22,14 +22,21 @@
 // latency and the per-layer cache-hit deltas, so the fast path (seed
 // vectors with -selector randomwalk, memoized null distributions, warm
 // selector entries) is directly observable from the terminal.
+//
+// Searches run under an interrupt-cancelled context: Ctrl-C aborts an
+// in-flight search cleanly (the workers stop within one PageRank sweep
+// or label test) instead of leaving it burning CPU.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -61,6 +68,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the in-flight search cleanly; a second interrupt
+	// falls back to the default hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	g, err := loadGraph(*graphPath, *dataset, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncsearch:", err)
@@ -78,16 +89,14 @@ func main() {
 	})
 
 	if *refine {
-		if err := runRefine(engine, os.Stdin); err != nil {
-			fmt.Fprintln(os.Stderr, "ncsearch:", err)
-			os.Exit(1)
+		if err := runRefine(ctx, engine, os.Stdin); err != nil {
+			fail(err)
 		}
 		return
 	}
 	if *queryFile != "" {
-		if err := runBatch(engine, g, *queryFile); err != nil {
-			fmt.Fprintln(os.Stderr, "ncsearch:", err)
-			os.Exit(1)
+		if err := runBatch(ctx, engine, g, *queryFile); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -96,7 +105,7 @@ func main() {
 	query, err := engine.Resolve(names...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncsearch:", err)
-		for _, n := range names {
+		for _, n := range unresolvedNames(err, names) {
 			if hits := engine.Suggest(n, 3); len(hits) > 0 {
 				fmt.Fprintf(os.Stderr, "  did you mean for %q:", n)
 				for _, h := range hits {
@@ -113,10 +122,9 @@ func main() {
 	}
 	fmt.Println()
 
-	res, err := engine.Search(query)
+	res, err := engine.Do(ctx, notable.Query{Nodes: query})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ncsearch:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	fmt.Printf("\ncontext (top %d of %d):\n", min(*showCtx, len(res.Context)), len(res.Context))
@@ -147,15 +155,15 @@ func main() {
 }
 
 // runBatch reads one query per line from path, resolves every name, runs
-// the whole file as a single SearchBatch, and reports per-query results
-// with aggregate timing.
-func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
+// the whole file as a single DoBatch, and reports per-query results with
+// aggregate timing. Ctrl-C aborts the whole batch cleanly.
+func runBatch(ctx context.Context, engine *notable.Engine, g *notable.Graph, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var queries [][]notable.NodeID
+	var queries []notable.Query
 	var lines []string
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -167,7 +175,7 @@ func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
 		if err != nil {
 			return fmt.Errorf("line %q: %w", line, err)
 		}
-		queries = append(queries, query)
+		queries = append(queries, notable.Query{Nodes: query})
 		lines = append(lines, line)
 	}
 	if err := sc.Err(); err != nil {
@@ -178,8 +186,12 @@ func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
 	}
 
 	start := time.Now()
-	results, err := engine.SearchBatch(queries)
+	results, err := engine.DoBatch(ctx, queries)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// %w keeps the cancellation identity so main exits 130.
+			return fmt.Errorf("interrupted after %v: %w", time.Since(start), err)
+		}
 		return err
 	}
 	elapsed := time.Since(start)
@@ -204,6 +216,28 @@ func runBatch(engine *notable.Engine, g *notable.Graph, path string) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// fail prints err and exits — 130 for an interrupt (the shell convention
+// for SIGINT), 1 otherwise.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ncsearch: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "ncsearch:", err)
+	os.Exit(1)
+}
+
+// unresolvedNames returns the names err reports as unresolved
+// (*notable.UnresolvedError), falling back to all names for other errors
+// — the did-you-mean loop then only suggests for what actually failed.
+func unresolvedNames(err error, all []string) []string {
+	var ue *notable.UnresolvedError
+	if errors.As(err, &ue) {
+		return ue.Missing
+	}
+	return all
 }
 
 // splitNames splits a comma-separated entity list, trimming blanks.
@@ -241,8 +275,9 @@ func cacheDelta(before, after qcache.Stats) string {
 // runRefine reads one query per line from r and serves each from the same
 // warm engine — the interactive refinement loop. Every answer prints its
 // latency, a result summary, and the per-layer cache deltas; a blank line
-// or EOF ends the session with the aggregate cache statistics.
-func runRefine(engine *notable.Engine, r io.Reader) error {
+// or EOF ends the session with the aggregate cache statistics. Ctrl-C
+// aborts the in-flight search and ends the session with the summary.
+func runRefine(ctx context.Context, engine *notable.Engine, r io.Reader) error {
 	fmt.Println("refine mode: one query per line (comma-separated entity names); blank line or ctrl-d ends")
 	sc := bufio.NewScanner(r)
 	queries := 0
@@ -259,7 +294,7 @@ func runRefine(engine *notable.Engine, r io.Reader) error {
 		query, err := engine.Resolve(splitNames(line)...)
 		if err != nil {
 			fmt.Println(err)
-			for _, n := range splitNames(line) {
+			for _, n := range unresolvedNames(err, splitNames(line)) {
 				if hits := engine.Suggest(n, 3); len(hits) > 0 {
 					fmt.Printf("  did you mean for %q:", n)
 					for _, h := range hits {
@@ -273,8 +308,12 @@ func runRefine(engine *notable.Engine, r io.Reader) error {
 		}
 		before := engine.CacheStats()
 		start := time.Now()
-		res, err := engine.Search(query)
+		res, err := engine.Do(ctx, notable.Query{Nodes: query})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Println("interrupted")
+				break
+			}
 			return err
 		}
 		elapsed := time.Since(start)

@@ -1,0 +1,25 @@
+package notable
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrEmptyQuery is returned by Do, DoBatch, DoStream, and the deprecated
+// Search entry points when a request carries no query nodes. Batch entry
+// points wrap it with the offending index; match with errors.Is.
+var ErrEmptyQuery = errors.New("notable: empty query")
+
+// UnresolvedError reports entity names that Resolve could not map to
+// graph nodes, exactly or fuzzily. Callers recover the names via
+// errors.As and typically feed them to Engine.Suggest for
+// did-you-mean output.
+type UnresolvedError struct {
+	// Missing holds the unresolved names, in input order.
+	Missing []string
+}
+
+// Error implements error.
+func (e *UnresolvedError) Error() string {
+	return "notable: unresolved entities: " + strings.Join(e.Missing, ", ")
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,15 @@ func main() {
 		Walks:       20000,
 		Seed:        7,
 	})
-	res, err := engine.SearchNames("Angela Merkel", "Barack Obama")
+	// Resolve names to node IDs, then serve one request-scoped search.
+	// The ctx cancels an in-flight search; per-request fields of
+	// notable.Query (context size, selector, alpha, top-k, ...) override
+	// the engine options for this call only.
+	query, err := engine.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Do(context.Background(), notable.Query{Nodes: query})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,9 +13,19 @@
 // memoized through Options.TestCache); results are deterministic for a
 // fixed seed because every randomized component takes an explicit seed
 // and each label's record lands at a fixed slot before the final sort.
+//
+// Every entry point is request-scoped: it takes a context.Context,
+// threads it through context selection (the PageRank loops check it
+// between sweeps) and the comparison stage's worker pool (checked between
+// label tests), and returns ctx.Err() once the request is cancelled — a
+// dropped request stops burning CPU mid-solve. Cancellation never
+// corrupts shared caches: only complete records and vectors are stored.
+// FindNCStream (stream.go) additionally releases each query of a batch as
+// it completes instead of barriering.
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -165,49 +175,79 @@ func (r Result) ByName(name string) (Characteristic, bool) {
 	return Characteristic{}, false
 }
 
-// FindNC runs the full pipeline on query against g.
-func FindNC(g *kg.Graph, query []kg.NodeID, opt Options) Result {
+// FindNC runs the full pipeline on query against g. Cancellation is
+// request-scoped: once ctx is done, FindNC stops within one PageRank
+// sweep or one label test and returns ctx.Err().
+func FindNC(ctx context.Context, g *kg.Graph, query []kg.NodeID, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
-	context := opt.Selector.Select(g, query, opt.ContextSize)
-	res := Result{Query: query, Context: context}
-	res.Characteristics = CompareSets(g, query, res.ContextIDs(), opt)
-	return res
+	cset := ctxsel.Select(ctx, opt.Selector, g, query, opt.ContextSize)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Query: query, Context: cset}
+	chars, err := CompareSets(ctx, g, query, res.ContextIDs(), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Characteristics = chars
+	return res, nil
 }
 
 // FindNCBatch runs FindNC for every query in one batched pass. Context
 // selection goes through the selector's batch path when it has one
-// (ctxsel.BatchSelector, then ctxsel.SelectBatch's BatchScorer dispatch),
-// amortizing graph traversal across the batch; the comparison stages then
-// fan out per query through the shared executor, each an independent
-// CompareSets writing its own result slot. Results are identical to
-// calling FindNC per query — bitwise, when the selector's batch path is
-// (RandomWalk's is) — for every batch size and Parallelism setting.
-func FindNCBatch(g *kg.Graph, queries [][]kg.NodeID, opt Options) []Result {
+// (ctxsel.CtxBatchSelector/BatchSelector, then ctxsel.SelectBatchCtx's
+// dispatch), amortizing graph traversal across the batch; the comparison
+// stages then fan out per query through the shared executor, each an
+// independent CompareSets writing its own result slot. Results are
+// identical to calling FindNC per query — bitwise, when the selector's
+// batch path is (RandomWalk's is) — for every batch size and Parallelism
+// setting. A cancelled ctx stops every stage within one sweep or label
+// test and returns ctx.Err().
+func FindNCBatch(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Options) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	var contexts [][]topk.Item
-	if bs, ok := opt.Selector.(ctxsel.BatchSelector); ok {
+	if bs, ok := opt.Selector.(ctxsel.CtxBatchSelector); ok {
+		contexts = bs.SelectBatchCtx(ctx, g, queries, opt.ContextSize)
+	} else if bs, ok := opt.Selector.(ctxsel.BatchSelector); ok {
 		contexts = bs.SelectBatch(g, queries, opt.ContextSize)
 	} else {
-		contexts = ctxsel.SelectBatch(g, opt.Selector, queries, opt.ContextSize)
+		contexts = ctxsel.SelectBatchCtx(ctx, opt.Selector, g, queries, opt.ContextSize)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	results := make([]Result, len(queries))
 	var next atomic.Int64
 	run := func() {
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= len(queries) {
 				return
 			}
 			results[i] = Result{Query: queries[i], Context: contexts[i]}
-			results[i].Characteristics = CompareSets(g, queries[i], results[i].ContextIDs(), opt)
+			// The only possible error is ctx.Err(), reported once after the
+			// fan drains; the partial slot is discarded with the batch.
+			results[i].Characteristics, _ = CompareSets(ctx, g, queries[i], results[i].ContextIDs(), opt)
 		}
 	}
 	workers := opt.Parallelism
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	exec.RunWorkers(workers, run)
-	return results
+	exec.RunWorkersCtx(ctx, workers, run)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // testLabelHook, when non-nil, runs at the start of every label task — a
@@ -215,19 +255,26 @@ func FindNCBatch(g *kg.Graph, queries [][]kg.NodeID, opt Options) []Result {
 var testLabelHook func()
 
 // CompareSets runs only the distribution-comparison stage (Section 3.2)
-// against an explicit context — used by FindNC, by experiments that reuse
-// one context across parameter sweeps, and by the RWMult baseline.
+// against an explicit context set cset — used by FindNC, by experiments
+// that reuse one context across parameter sweeps, and by the RWMult
+// baseline.
 //
 // Labels are drained from a shared counter by a fixed pool of
 // min(Parallelism, len(labels)) workers, each reusing its own
 // distribution and test scratch across labels. Results land at fixed
 // per-label slots before the final sort, so the output is deterministic
-// for every worker count.
-func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Characteristic {
+// for every worker count. Workers check ctx between labels: a cancelled
+// request abandons the stage within one label test and returns ctx.Err().
+// A label test already running completes — its record is whole — so the
+// shared test cache only ever holds complete entries, cancelled or not.
+func CompareSets(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt Options) ([]Characteristic, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
-	both := make([]kg.NodeID, 0, len(query)+len(context))
+	both := make([]kg.NodeID, 0, len(query)+len(cset))
 	both = append(both, query...)
-	both = append(both, context...)
+	both = append(both, cset...)
 	labels := g.LabelsOf(both)
 	if opt.SkipInverse {
 		kept := labels[:0]
@@ -241,7 +288,7 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 
 	var keyBase string
 	if opt.TestCache != nil {
-		keyBase = testKeyBase(query, context, opt)
+		keyBase = testKeyBase(query, cset, opt)
 	}
 	out := make([]Characteristic, len(labels))
 	var next atomic.Int64
@@ -250,6 +297,9 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 		// reusing one scratch for its whole run.
 		var s labelScratch
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= len(labels) {
 				return
@@ -257,7 +307,7 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 			if testLabelHook != nil {
 				testLabelHook()
 			}
-			out[i] = testLabelCached(g, labels[i], query, context, opt, keyBase, &s)
+			out[i] = testLabelCached(g, labels[i], query, cset, opt, keyBase, &s)
 		}
 	}
 	workers := opt.Parallelism
@@ -267,7 +317,10 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 	// Extra workers come from the shared executor rather than fresh
 	// goroutines; a busy pool degrades toward serial execution on the
 	// caller, never past the Parallelism bound.
-	exec.RunWorkers(workers, run)
+	exec.RunWorkersCtx(ctx, workers, run)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -280,7 +333,7 @@ func CompareSets(g *kg.Graph, query, context []kg.NodeID, opt Options) []Charact
 		}
 		return a.Name < b.Name
 	})
-	return out
+	return out, nil
 }
 
 func minP(c Characteristic) float64 {
@@ -305,10 +358,10 @@ type labelScratch struct {
 // order-independent but multiplicity-sensitive), the ranked context
 // hashed compactly, and every option that can change a test outcome.
 // opt must already carry defaults.
-func testKeyBase(query, context []kg.NodeID, opt Options) string {
+func testKeyBase(query, cset []kg.NodeID, opt Options) string {
 	prefix := fmt.Sprintf("mt|a%v|el%d|mc%d|s%d|pol%d|c%x",
 		opt.Test.Alpha, opt.Test.ExactLimit, opt.Test.Samples, opt.Test.Seed,
-		opt.Policy, qcache.HashIDs(context))
+		opt.Policy, qcache.HashIDs(cset))
 	return qcache.MultisetKey(prefix, query)
 }
 
@@ -316,15 +369,15 @@ func testKeyBase(query, context []kg.NodeID, opt Options) string {
 // master record is never handed out: hits and misses alike return a
 // record with private distribution slices, preserving the uncached
 // contract that callers own (and may mutate) everything they receive.
-func testLabelCached(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, opt Options, keyBase string, s *labelScratch) Characteristic {
+func testLabelCached(g *kg.Graph, l kg.LabelID, query, cset []kg.NodeID, opt Options, keyBase string, s *labelScratch) Characteristic {
 	if opt.TestCache == nil {
-		return testLabel(g, l, query, context, opt.Test, opt.Policy, s)
+		return testLabel(g, l, query, cset, opt.Test, opt.Policy, s)
 	}
 	key := keyBase + "|l" + strconv.FormatUint(uint64(l), 10)
 	if v, ok := opt.TestCache.GetLayer(key, qcache.LayerTest); ok {
 		return v.(Characteristic).clone()
 	}
-	c := testLabel(g, l, query, context, opt.Test, opt.Policy, s)
+	c := testLabel(g, l, query, cset, opt.Test, opt.Policy, s)
 	opt.TestCache.PutSized(key, c, qcache.LayerTest, c.cacheFootprint()+int64(len(key)))
 	return c.clone()
 }
@@ -351,10 +404,10 @@ func (c Characteristic) clone() Characteristic {
 
 // testLabel builds both distributions for l and applies the multinomial
 // test to each, combining scores per Eq. 3.
-func testLabel(g *kg.Graph, l kg.LabelID, query, context []kg.NodeID, test stats.Multinomial, policy dist.UnseenPolicy, s *labelScratch) Characteristic {
+func testLabel(g *kg.Graph, l kg.LabelID, query, cset []kg.NodeID, test stats.Multinomial, policy dist.UnseenPolicy, s *labelScratch) Characteristic {
 	c := Characteristic{Label: l, Name: g.LabelName(l)}
-	c.Inst = dist.InstancesScratch(g, l, query, context, &s.dist)
-	c.Card = dist.Cardinalities(g, l, query, context)
+	c.Inst = dist.InstancesScratch(g, l, query, cset, &s.dist)
+	c.Card = dist.Cardinalities(g, l, query, cset)
 
 	// The raw count vectors go straight to the test, which normalizes π
 	// internally; the observation vectors are only read.

@@ -71,7 +71,7 @@ func peerContext(g *kg.Graph) []kg.NodeID {
 
 func TestFindNCSelectsLeaderContext(t *testing.T) {
 	g, query := leadersGraph()
-	res := FindNC(g, query, Options{
+	res := findNC(t, g, query, Options{
 		Selector:    ctxsel.ContextRW{Walks: 60000, Seed: 11},
 		ContextSize: 10,
 		Seed:        11,
@@ -105,7 +105,7 @@ func TestFindNCSelectsLeaderContext(t *testing.T) {
 func compareWithPeers(t *testing.T) (*kg.Graph, []Characteristic) {
 	t.Helper()
 	g, query := leadersGraph()
-	chars := CompareSets(g, query, peerContext(g), Options{Seed: 7})
+	chars := compareSets(t, g, query, peerContext(g), Options{Seed: 7})
 	if len(chars) == 0 {
 		t.Fatal("no characteristics tested")
 	}
@@ -179,7 +179,7 @@ func TestResultsSortedByScore(t *testing.T) {
 
 func TestNotableOnlyConsistent(t *testing.T) {
 	g, query := leadersGraph()
-	res := FindNC(g, query, Options{
+	res := findNC(t, g, query, Options{
 		Selector:    ctxsel.ContextRW{Walks: 30000, Seed: 11},
 		ContextSize: 10,
 		Seed:        11,
@@ -208,14 +208,14 @@ func TestNotableOnlyConsistent(t *testing.T) {
 
 func TestSkipInverse(t *testing.T) {
 	g, query := leadersGraph()
-	chars := CompareSets(g, query, peerContext(g), Options{SkipInverse: true, Seed: 7})
+	chars := compareSets(t, g, query, peerContext(g), Options{SkipInverse: true, Seed: 7})
 	for _, c := range chars {
 		if g.IsInverse(c.Label) {
 			t.Fatalf("inverse label %s in report despite SkipInverse", c.Name)
 		}
 	}
 	// Without the flag, inverse labels (e.g. met⁻¹) are present.
-	all := CompareSets(g, query, peerContext(g), Options{Seed: 7})
+	all := compareSets(t, g, query, peerContext(g), Options{Seed: 7})
 	if len(all) <= len(chars) {
 		t.Fatal("SkipInverse did not reduce the label set")
 	}
@@ -251,8 +251,8 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		ContextSize: 8,
 		Seed:        42,
 	}
-	a := FindNC(g, query, opt)
-	b := FindNC(g, query, opt)
+	a := findNC(t, g, query, opt)
+	b := findNC(t, g, query, opt)
 	if len(a.Characteristics) != len(b.Characteristics) {
 		t.Fatal("runs differ in characteristic count")
 	}
@@ -267,7 +267,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestRWMultBaseline(t *testing.T) {
 	// RWMult = RandomWalk context + multinomial test; must run end to end.
 	g, query := leadersGraph()
-	res := FindNC(g, query, Options{
+	res := findNC(t, g, query, Options{
 		Selector:    ctxsel.RandomWalk{},
 		ContextSize: 10,
 		Seed:        1,
@@ -285,7 +285,7 @@ func TestKindString(t *testing.T) {
 
 func TestEmptyQuery(t *testing.T) {
 	g, _ := leadersGraph()
-	res := FindNC(g, nil, Options{Selector: ctxsel.ContextRW{Walks: 100, Seed: 1}, Seed: 1})
+	res := findNC(t, g, nil, Options{Selector: ctxsel.ContextRW{Walks: 100, Seed: 1}, Seed: 1})
 	if len(res.Context) != 0 {
 		t.Fatal("empty query should have empty context")
 	}
@@ -303,11 +303,11 @@ func TestCustomAlpha(t *testing.T) {
 	// A stricter alpha can only shrink the notable set.
 	g, query := leadersGraph()
 	ctx := peerContext(g)
-	strict := CompareSets(g, query, ctx, Options{
+	strict := compareSets(t, g, query, ctx, Options{
 		Test: stats.Multinomial{Alpha: 1e-12, Seed: 7},
 		Seed: 7,
 	})
-	loose := CompareSets(g, query, ctx, Options{Seed: 7})
+	loose := compareSets(t, g, query, ctx, Options{Seed: 7})
 	countNotable := func(cs []Characteristic) int {
 		n := 0
 		for _, c := range cs {
@@ -331,7 +331,7 @@ func BenchmarkFindNCLeaders(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		FindNC(g, query, opt)
+		findNC(b, g, query, opt)
 	}
 }
 
@@ -340,6 +340,6 @@ func BenchmarkCompareSetsOnly(b *testing.B) {
 	ctx := peerContext(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		CompareSets(g, query, ctx, Options{Seed: 1})
+		compareSets(b, g, query, ctx, Options{Seed: 1})
 	}
 }

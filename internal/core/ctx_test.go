@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctxsel"
+	"repro/internal/kg"
+)
+
+// findNC and compareSets are ctx-less shims for tests that predate the
+// request-scoped API: background context, failure on the (impossible
+// there) cancellation error.
+func findNC(tb testing.TB, g *kg.Graph, query []kg.NodeID, opt Options) Result {
+	tb.Helper()
+	res, err := FindNC(context.Background(), g, query, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func compareSets(tb testing.TB, g *kg.Graph, query, cset []kg.NodeID, opt Options) []Characteristic {
+	tb.Helper()
+	out, err := CompareSets(context.Background(), g, query, cset, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// TestCompareSetsPreCancelled: an already-cancelled ctx returns its error
+// without testing a single label.
+func TestCompareSetsPreCancelled(t *testing.T) {
+	g, query := leadersGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tested := 0
+	testLabelHook = func() { tested++ }
+	defer func() { testLabelHook = nil }()
+	out, err := CompareSets(ctx, g, query, peerContext(g), Options{Seed: 7})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled CompareSets returned characteristics")
+	}
+	if tested != 0 {
+		t.Fatalf("cancelled CompareSets tested %d labels", tested)
+	}
+}
+
+// TestCompareSetsCancelledMidRun: cancelling after the first label test
+// stops the pool within one further test and returns ctx.Err(), for
+// every worker count.
+func TestCompareSetsCancelledMidRun(t *testing.T) {
+	g, query := leadersGraph()
+	cset := peerContext(g)
+	for _, par := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var tested atomic.Int64
+		testLabelHook = func() {
+			if tested.Add(1) == 1 {
+				cancel()
+			}
+		}
+		_, err := CompareSets(ctx, g, query, cset, Options{Seed: 7, Parallelism: par})
+		testLabelHook = nil
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: err = %v, want context.Canceled", par, err)
+		}
+		// The claim loop checks ctx before each label: after the
+		// cancelling test, each of the par workers can have at most one
+		// label already past its check.
+		if n := tested.Load(); n > int64(1+par) {
+			t.Fatalf("par=%d: %d labels tested after cancellation", par, n)
+		}
+		cancel()
+	}
+}
+
+// TestFindNCCancelled: a cancelled ctx surfaces from the full pipeline.
+func TestFindNCCancelled(t *testing.T) {
+	g, query := leadersGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := FindNC(ctx, g, query, Options{Selector: ctxsel.RandomWalk{}, ContextSize: 10, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_, err = FindNCBatch(ctx, g, [][]kg.NodeID{query}, Options{Selector: ctxsel.RandomWalk{}, ContextSize: 10, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+}
+
+// streamQueries builds a small overlapping batch over the leaders graph.
+func streamQueries(g *kg.Graph, query []kg.NodeID) [][]kg.NodeID {
+	peers := peerContext(g)
+	return [][]kg.NodeID{
+		query,
+		{query[0]},
+		{query[0], peers[0]},
+		{peers[0], peers[1]},
+		query,
+	}
+}
+
+// TestFindNCStreamMatchesFindNC: the stream emits every query exactly
+// once, and each emitted result is bitwise identical to a solo FindNC.
+func TestFindNCStreamMatchesFindNC(t *testing.T) {
+	g, query := leadersGraph()
+	queries := streamQueries(g, query)
+	for _, par := range []int{1, 4} {
+		opt := Options{Selector: ctxsel.RandomWalk{}, ContextSize: 8, Seed: 3, Parallelism: par}
+		var mu sync.Mutex
+		got := make(map[int]Result)
+		emits := 0
+		FindNCStream(context.Background(), g, queries, opt, func(i int, res Result, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			emits++
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if _, dup := got[i]; dup {
+				t.Errorf("query %d emitted twice", i)
+			}
+			got[i] = res
+		})
+		if emits != len(queries) {
+			t.Fatalf("par=%d: %d emits for %d queries", par, emits, len(queries))
+		}
+		for i, q := range queries {
+			want := findNC(t, g, q, opt)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("par=%d: stream result %d differs from solo FindNC", par, i)
+			}
+		}
+	}
+}
+
+// TestFindNCStreamCancelled: cancelling mid-stream still emits every
+// index exactly once — completed queries with results, abandoned ones
+// with ctx.Err() — and FindNCStream returns (workers stopped).
+func TestFindNCStreamCancelled(t *testing.T) {
+	g, query := leadersGraph()
+	queries := streamQueries(g, query)
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	failures := 0
+	FindNCStream(ctx, g, queries, Options{Selector: ctxsel.RandomWalk{}, ContextSize: 8, Seed: 3}, func(i int, res Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[i]++
+		if err != nil {
+			failures++
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("query %d: err = %v, want context.Canceled", i, err)
+			}
+		} else if len(res.Characteristics) == 0 {
+			t.Errorf("query %d: successful emit with no characteristics", i)
+		}
+		cancel() // first emit cancels the rest
+	})
+	if len(seen) != len(queries) {
+		t.Fatalf("%d distinct indices emitted, want %d", len(seen), len(queries))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("query %d emitted %d times", i, n)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("cancellation produced no abandoned queries")
+	}
+}

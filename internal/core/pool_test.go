@@ -29,7 +29,7 @@ func TestCompareSetsPoolBound(t *testing.T) {
 			time.Sleep(time.Millisecond)
 			inFlight.Add(-1)
 		}
-		chars := CompareSets(g, query, ctx, Options{Seed: 7, Parallelism: par})
+		chars := compareSets(t, g, query, ctx, Options{Seed: 7, Parallelism: par})
 		testLabelHook = nil
 		if len(chars) == 0 {
 			t.Fatal("no characteristics tested")
@@ -45,9 +45,9 @@ func TestCompareSetsPoolBound(t *testing.T) {
 func TestCompareSetsParallelismIdentical(t *testing.T) {
 	g, query := leadersGraph()
 	ctx := peerContext(g)
-	want := CompareSets(g, query, ctx, Options{Seed: 7, Parallelism: 1})
+	want := compareSets(t, g, query, ctx, Options{Seed: 7, Parallelism: 1})
 	for _, par := range []int{2, 4, 8, 64} {
-		got := CompareSets(g, query, ctx, Options{Seed: 7, Parallelism: par})
+		got := compareSets(t, g, query, ctx, Options{Seed: 7, Parallelism: par})
 		if len(got) != len(want) {
 			t.Fatalf("Parallelism=%d: %d labels vs %d", par, len(got), len(want))
 		}
@@ -64,7 +64,7 @@ func TestCompareSetsParallelismIdentical(t *testing.T) {
 // wedge or panic the pool.
 func TestCompareSetsEmptyInput(t *testing.T) {
 	g, _ := leadersGraph()
-	if chars := CompareSets(g, nil, nil, Options{Seed: 1}); len(chars) != 0 {
+	if chars := compareSets(t, g, nil, nil, Options{Seed: 1}); len(chars) != 0 {
 		t.Fatalf("empty input produced %d characteristics", len(chars))
 	}
 }
@@ -76,12 +76,12 @@ func TestCompareSetsTestCache(t *testing.T) {
 	ctx := peerContext(g)
 	cache := qcache.New(1024)
 	opt := Options{Seed: 7, TestCache: cache}
-	cold := CompareSets(g, query, ctx, opt)
+	cold := compareSets(t, g, query, ctx, opt)
 	st := cache.Stats()
 	if st.Hits != 0 || st.Misses != uint64(len(cold)) {
 		t.Fatalf("cold run: %+v, want %d misses and no hits", st, len(cold))
 	}
-	warm := CompareSets(g, query, ctx, opt)
+	warm := compareSets(t, g, query, ctx, opt)
 	st = cache.Stats()
 	if st.Hits != uint64(len(cold)) || st.Misses != uint64(len(cold)) {
 		t.Fatalf("warm run: %+v, want %d hits", st, len(cold))
@@ -94,7 +94,7 @@ func TestCompareSetsTestCache(t *testing.T) {
 	}
 	// A permuted query is the same multiset: still fully warm.
 	perm := []uint32{query[1], query[0]}
-	CompareSets(g, perm, ctx, opt)
+	compareSets(t, g, perm, ctx, opt)
 	if st = cache.Stats(); st.Hits != 2*uint64(len(cold)) {
 		t.Fatalf("permuted query missed the memo: %+v", st)
 	}
@@ -107,7 +107,7 @@ func TestCompareSetsTestCacheCallerOwnsSlices(t *testing.T) {
 	g, query := leadersGraph()
 	ctx := peerContext(g)
 	opt := Options{Seed: 7, TestCache: qcache.New(1024)}
-	first := CompareSets(g, query, ctx, opt)
+	first := compareSets(t, g, query, ctx, opt)
 	for i := range first {
 		for j := range first[i].Inst.Query {
 			first[i].Inst.Query[j] = -999
@@ -116,7 +116,7 @@ func TestCompareSetsTestCacheCallerOwnsSlices(t *testing.T) {
 			first[i].Card.Context[j] = -999
 		}
 	}
-	warm := CompareSets(g, query, ctx, opt)
+	warm := compareSets(t, g, query, ctx, opt)
 	for _, c := range warm {
 		for _, v := range c.Inst.Query {
 			if v == -999 {
@@ -138,11 +138,11 @@ func TestCompareSetsTestCacheKeying(t *testing.T) {
 	ctx := peerContext(g)
 	cache := qcache.New(4096)
 	base := Options{Seed: 7, TestCache: cache}
-	CompareSets(g, query, ctx, base)
+	compareSets(t, g, query, ctx, base)
 	miss0 := cache.Stats().Misses
 
 	// Shorter context: new distributions, all labels recompute.
-	CompareSets(g, query, ctx[:len(ctx)-1], base)
+	compareSets(t, g, query, ctx[:len(ctx)-1], base)
 	if st := cache.Stats(); st.Misses == miss0 {
 		t.Fatal("shrunken context reused stale entries")
 	}
@@ -150,11 +150,11 @@ func TestCompareSetsTestCacheKeying(t *testing.T) {
 
 	// Duplicated query node: the multiset changed, counts double.
 	dup := []uint32{query[0], query[0], query[1]}
-	dupChars := CompareSets(g, dup, ctx, base)
+	dupChars := compareSets(t, g, dup, ctx, base)
 	if st := cache.Stats(); st.Misses == miss1 {
 		t.Fatal("duplicate-node query reused the deduplicated entries")
 	}
-	single := CompareSets(g, query, ctx, base)
+	single := compareSets(t, g, query, ctx, base)
 	// Sanity: the duplicated query genuinely observes different counts.
 	a := byName(t, single, "studied")
 	b := byName(t, dupChars, "studied")
@@ -177,16 +177,16 @@ func BenchmarkCompareSets(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			CompareSets(g, query, ctx, Options{Seed: 1})
+			compareSets(b, g, query, ctx, Options{Seed: 1})
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
 		b.ReportAllocs()
 		opt := Options{Seed: 1, TestCache: qcache.New(1024)}
-		CompareSets(g, query, ctx, opt)
+		compareSets(b, g, query, ctx, opt)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			CompareSets(g, query, ctx, opt)
+			compareSets(b, g, query, ctx, opt)
 		}
 	})
 }

@@ -17,6 +17,7 @@
 package ctxsel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -63,6 +64,158 @@ type BatchSelector interface {
 	Selector
 	// SelectBatch returns one ranked context per query, in order.
 	SelectBatch(g *kg.Graph, queries [][]kg.NodeID, k int) [][]topk.Item
+}
+
+// The request-scoped serving API threads a context.Context through every
+// layer, but the base Selector interfaces predate it and many ablation
+// selectors (and experiment callers) never need cancellation. The Ctx*
+// and Stream* capability interfaces below are therefore optional:
+// selectors that honor cancellation implement them, and the dispatch
+// helpers (Select, SelectBatchCtx, SelectStream) fall back to the plain
+// methods otherwise — coarse-grained cancellation, checked by the caller
+// at stage boundaries. RandomWalk implements all of them (its PageRank
+// solves check ctx between sweeps); the engine's caching wrapper relays
+// them around its cache.
+
+// CtxSelector is a Selector honoring request cancellation: once ctx is
+// done, SelectCtx stops within one solver sweep and its return value is
+// meaningless — callers must consult ctx.Err() before using it.
+type CtxSelector interface {
+	Selector
+	SelectCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID, k int) []topk.Item
+}
+
+// CtxScorer is a Scorer honoring request cancellation, with the same
+// partial-result contract as CtxSelector.
+type CtxScorer interface {
+	Scorer
+	ScoresCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID) []float64
+}
+
+// CtxBatchSelector is a BatchSelector honoring request cancellation:
+// entries of the returned slice may be nil once ctx is done.
+type CtxBatchSelector interface {
+	BatchSelector
+	SelectBatchCtx(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, k int) [][]topk.Item
+}
+
+// CtxBatchScorer is a BatchScorer honoring request cancellation, with
+// the same partial-result contract as CtxScorer (entries may be nil once
+// ctx is done). Barriered batch callers prefer it over StreamScorer:
+// the barriered solve may use batch-wide kernels (the blocked
+// multi-vector gather) that the streaming schedule trades away for
+// release granularity.
+type CtxBatchScorer interface {
+	BatchScorer
+	ScoresBatchCtx(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID) [][]float64
+}
+
+// StreamScorer is a Scorer with a streaming batch path: ScoresStream
+// invokes ready(i, scores) exactly once per query, as soon as that
+// query's score vector is complete — queries sharing solved seeds release
+// early instead of barriering on the whole batch. ready runs on the
+// solver's goroutine; expensive consumers should offload. Each released
+// vector is bitwise identical to a per-query Scores call. Once ctx is
+// done the stream stops within one sweep and unreleased queries never get
+// a callback.
+type StreamScorer interface {
+	Scorer
+	ScoresStream(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, ready func(i int, scores []float64))
+}
+
+// StreamBatchSelector resolves whole batches as a stream of ranked
+// contexts, with the same callback contract as StreamScorer.
+type StreamBatchSelector interface {
+	Selector
+	SelectStreamBatch(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, k int, ready func(i int, items []topk.Item))
+}
+
+// Select resolves one query through sel, threading ctx when sel supports
+// it (CtxSelector, then CtxScorer) and falling back to the plain Select
+// otherwise. Callers own the cancellation check: a done ctx makes the
+// return value meaningless.
+func Select(ctx context.Context, sel Selector, g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	if cs, ok := sel.(CtxSelector); ok {
+		return cs.SelectCtx(ctx, g, query, k)
+	}
+	if sc, ok := sel.(CtxScorer); ok {
+		scores := sc.ScoresCtx(ctx, g, query)
+		if ctx.Err() != nil {
+			return nil
+		}
+		return TopKFromScores(scores, query, k)
+	}
+	return sel.Select(g, query, k)
+}
+
+// SelectBatchCtx resolves contexts for many queries through sel with
+// cancellation. Dispatch order matters: the barriered batch scoring
+// paths (CtxBatchScorer, then BatchScorer) come before the streaming
+// one, because a barriered caller wants the batch solve's full kernel
+// arsenal — the streaming schedule gives up the blocked multi-vector
+// gather for release granularity no barriered caller can observe. While
+// ctx stays live the results equal per-query Select calls; once it is
+// done entries may be nil.
+func SelectBatchCtx(ctx context.Context, sel Selector, g *kg.Graph, queries [][]kg.NodeID, k int) [][]topk.Item {
+	out := make([][]topk.Item, len(queries))
+	if bs, ok := sel.(CtxBatchScorer); ok {
+		scores := bs.ScoresBatchCtx(ctx, g, queries)
+		if ctx.Err() != nil {
+			return out
+		}
+		for i, q := range queries {
+			out[i] = TopKFromScores(scores[i], q, k)
+		}
+		return out
+	}
+	if bs, ok := sel.(BatchScorer); ok {
+		scores := bs.ScoresBatch(g, queries)
+		for i, q := range queries {
+			out[i] = TopKFromScores(scores[i], q, k)
+		}
+		return out
+	}
+	if ss, ok := sel.(StreamScorer); ok {
+		ss.ScoresStream(ctx, g, queries, func(i int, scores []float64) {
+			out[i] = TopKFromScores(scores, queries[i], k)
+		})
+		return out
+	}
+	for i, q := range queries {
+		if ctx.Err() != nil {
+			return out
+		}
+		out[i] = Select(ctx, sel, g, q, k)
+	}
+	return out
+}
+
+// SelectStream resolves contexts for many queries as a stream: ready(i,
+// items) fires exactly once per query as each context becomes available,
+// through sel's own streaming path when it has one (StreamBatchSelector,
+// then StreamScorer) or a per-query sequential fallback otherwise. Once
+// ctx is done, unreleased queries never get a callback.
+func SelectStream(ctx context.Context, sel Selector, g *kg.Graph, queries [][]kg.NodeID, k int, ready func(i int, items []topk.Item)) {
+	if ss, ok := sel.(StreamBatchSelector); ok {
+		ss.SelectStreamBatch(ctx, g, queries, k, ready)
+		return
+	}
+	if sc, ok := sel.(StreamScorer); ok {
+		sc.ScoresStream(ctx, g, queries, func(i int, scores []float64) {
+			ready(i, TopKFromScores(scores, queries[i], k))
+		})
+		return
+	}
+	for i, q := range queries {
+		if ctx.Err() != nil {
+			return
+		}
+		items := Select(ctx, sel, g, q, k)
+		if ctx.Err() != nil {
+			return
+		}
+		ready(i, items)
+	}
 }
 
 // SelectBatch resolves contexts for many queries through sel: the batched
@@ -115,9 +268,24 @@ func (s RandomWalk) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
 	return TopKFromScores(s.Scores(g, query), query, k)
 }
 
+// SelectCtx implements CtxSelector: the PageRank solve checks ctx between
+// sweeps.
+func (s RandomWalk) SelectCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	scores := s.ScoresCtx(ctx, g, query)
+	if ctx.Err() != nil {
+		return nil
+	}
+	return TopKFromScores(scores, query, k)
+}
+
 // Scores implements Scorer: the summed per-seed PageRank vector.
 func (s RandomWalk) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
 	return ppr.PersonalizedSum(g, query, s.Opt)
+}
+
+// ScoresCtx implements CtxScorer.
+func (s RandomWalk) ScoresCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID) []float64 {
+	return ppr.PersonalizedSumCtx(ctx, g, query, s.Opt)
 }
 
 // ScoresBatch implements BatchScorer through the batched multi-source
@@ -126,6 +294,19 @@ func (s RandomWalk) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
 // Scores.
 func (s RandomWalk) ScoresBatch(g *kg.Graph, queries [][]kg.NodeID) [][]float64 {
 	return ppr.PersonalizedSumMulti(g, queries, s.Opt)
+}
+
+// ScoresBatchCtx implements CtxBatchScorer: the same barriered blocked-
+// kernel solve as ScoresBatch, checking ctx between sweeps.
+func (s RandomWalk) ScoresBatchCtx(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID) [][]float64 {
+	return ppr.PersonalizedSumMultiCtx(ctx, g, queries, s.Opt)
+}
+
+// ScoresStream implements StreamScorer through the streaming multi-source
+// solve: the same deduplicated batch solve as ScoresBatch, but each
+// query's summed vector releases the moment its last seed resolves.
+func (s RandomWalk) ScoresStream(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, ready func(i int, scores []float64)) {
+	ppr.PersonalizedSumMultiStream(ctx, g, queries, s.Opt, ready)
 }
 
 // ContextRW is the paper's context selector (Section 3.1).
@@ -167,17 +348,37 @@ func (s ContextRW) Select(g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
 	return TopKFromScores(s.Scores(g, query), query, k)
 }
 
+// SelectCtx implements CtxSelector: mining workers check ctx between
+// walk batches, so a dropped request aborts the dominant stage early.
+func (s ContextRW) SelectCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID, k int) []topk.Item {
+	scores := s.ScoresCtx(ctx, g, query)
+	if ctx.Err() != nil {
+		return nil
+	}
+	return TopKFromScores(scores, query, k)
+}
+
 // Scores computes σ(n', Q) for every node n'. Exposed separately so
 // experiments can reuse one scoring pass across several context sizes.
 func (s ContextRW) Scores(g *kg.Graph, query []kg.NodeID) []float64 {
+	return s.ScoresCtx(context.Background(), g, query)
+}
+
+// ScoresCtx implements CtxScorer: the walk-sampling budget — the bulk of
+// a ContextRW selection — honors cancellation via metapath.MineCtx; the
+// (comparatively brief) scoring pass runs only while ctx stays live.
+func (s ContextRW) ScoresCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID) []float64 {
 	s = s.withDefaults()
-	mined := metapath.Mine(g, query, metapath.MineOptions{
+	mined := metapath.MineCtx(ctx, g, query, metapath.MineOptions{
 		Walks:       s.Walks,
 		MaxLength:   s.MaxLength,
 		Uniform:     s.Uniform,
 		Seed:        s.Seed,
 		Parallelism: s.Parallelism,
 	})
+	if ctx.Err() != nil {
+		return nil
+	}
 	return s.ScoresWithPaths(g, query, mined)
 }
 

@@ -1,0 +1,72 @@
+package ctxsel
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/topk"
+)
+
+// fakeBatchScorer implements every batch capability and records which
+// path a dispatch helper chose.
+type fakeBatchScorer struct {
+	called *string
+	n      int
+}
+
+func (f fakeBatchScorer) Name() string { return "fake" }
+
+func (f fakeBatchScorer) Select(g *kg.Graph, q []kg.NodeID, k int) []topk.Item {
+	*f.called = "select"
+	return nil
+}
+
+func (f fakeBatchScorer) Scores(g *kg.Graph, q []kg.NodeID) []float64 {
+	*f.called = "scores"
+	return make([]float64, f.n)
+}
+
+func (f fakeBatchScorer) ScoresBatch(g *kg.Graph, qs [][]kg.NodeID) [][]float64 {
+	*f.called = "batch"
+	out := make([][]float64, len(qs))
+	for i := range out {
+		out[i] = make([]float64, f.n)
+	}
+	return out
+}
+
+func (f fakeBatchScorer) ScoresBatchCtx(ctx context.Context, g *kg.Graph, qs [][]kg.NodeID) [][]float64 {
+	out := f.ScoresBatch(g, qs)
+	*f.called = "batchctx" // recorded last: the inner delegate must not mask the entry point
+	return out
+}
+
+func (f fakeBatchScorer) ScoresStream(ctx context.Context, g *kg.Graph, qs [][]kg.NodeID, ready func(int, []float64)) {
+	*f.called = "stream"
+	for i := range qs {
+		ready(i, make([]float64, f.n))
+	}
+}
+
+// TestSelectBatchCtxPrefersBarrieredSolve: the barriered dispatch must
+// choose the batch scoring path (which keeps batch-wide kernels like the
+// blocked multi-vector gather) over the streaming one, while SelectStream
+// prefers the streaming path.
+func TestSelectBatchCtxPrefersBarrieredSolve(t *testing.T) {
+	g := kg.NewBuilder(4).Build()
+	var called string
+	sel := fakeBatchScorer{called: &called, n: g.NumNodes()}
+	queries := [][]kg.NodeID{{0}, {0}}
+
+	SelectBatchCtx(context.Background(), sel, g, queries, 1)
+	if called != "batchctx" {
+		t.Fatalf("SelectBatchCtx dispatched to %q, want the barriered batchctx solve", called)
+	}
+
+	called = ""
+	SelectStream(context.Background(), sel, g, queries, 1, func(int, []topk.Item) {})
+	if called != "stream" {
+		t.Fatalf("SelectStream dispatched to %q, want the streaming solve", called)
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,11 +41,17 @@ func RunActorsCase(d *gen.Dataset, cfg Config, policy dist.UnseenPolicy) (*Actor
 		SkipInverse: true,
 		Policy:      policy,
 	}
-	res := core.FindNC(d.Graph, query, opt)
+	res, err := core.FindNC(context.Background(), d.Graph, query, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	rwOpt := opt
 	rwOpt.Selector = ctxsel.RandomWalk{}
-	rw := core.FindNC(d.Graph, query, rwOpt)
+	rw, err := core.FindNC(context.Background(), d.Graph, query, rwOpt)
+	if err != nil {
+		return nil, err
+	}
 
 	return &ActorsCase{
 		Graph:   d.Graph,
@@ -285,13 +292,16 @@ func RunAuthorsCase(seed int64, walks int) (*AuthorsCase, error) {
 	if walks == 0 {
 		walks = 100000
 	}
-	res := core.FindNC(ds.Graph, ds.Query, core.Options{
+	res, err := core.FindNC(context.Background(), ds.Graph, ds.Query, core.Options{
 		ContextSize: 30,
 		Selector:    ctxsel.ContextRW{Walks: walks, Seed: seed},
 		Seed:        seed,
 		SkipInverse: true,
 		Policy:      dist.UnseenPooled,
 	})
+	if err != nil {
+		return nil, err
+	}
 	ac := &AuthorsCase{Data: ds, Result: res}
 	var ok bool
 	if ac.Influences, ok = res.ByName("influences"); !ok {

@@ -31,6 +31,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -95,6 +96,7 @@ func Default() *Pool {
 // copied and is not reusable after Wait returns.
 type Group struct {
 	pool *Pool
+	ctx  context.Context
 	wg   sync.WaitGroup
 }
 
@@ -103,12 +105,24 @@ func NewGroup(p *Pool) *Group {
 	return &Group{pool: p}
 }
 
+// NewGroupCtx returns a Group submitting to p whose Go becomes a no-op
+// once ctx is cancelled: tasks not yet handed off are dropped rather than
+// started. Tasks already running are not interrupted — cancellation-aware
+// tasks check ctx themselves between work items — so a cancelled Group's
+// Wait returns as soon as the in-flight tasks drain.
+func NewGroupCtx(ctx context.Context, p *Pool) *Group {
+	return &Group{pool: p, ctx: ctx}
+}
+
 // Go runs task on an idle pool worker, or inline on the caller when none
 // is idle (see the package comment for why this never deadlocks). Inline
 // execution means Go can block for the task's full duration; callers
 // submitting N shards typically submit N−1 and run the last themselves,
 // so the inline case costs nothing extra.
 func (g *Group) Go(task func()) {
+	if g.ctx != nil && g.ctx.Err() != nil {
+		return
+	}
 	if g.pool == nil {
 		task()
 		return
@@ -141,5 +155,28 @@ func RunWorkers(workers int, run func()) {
 		g.Go(run)
 	}
 	run()
+	g.Wait()
+}
+
+// RunWorkersCtx is RunWorkers under a cancellation context: workers not
+// yet launched when ctx is cancelled never start, and the inline
+// execution is skipped when ctx is already done. run is expected to check
+// ctx itself between work items (the claim-loop idiom), so cancellation
+// stops the fan within one item's latency; a nil ctx behaves exactly like
+// RunWorkers. Like RunWorkers, fewer executions only reduce concurrency —
+// under cancellation the caller abandons the output entirely, so dropped
+// workers never corrupt a result.
+func RunWorkersCtx(ctx context.Context, workers int, run func()) {
+	if ctx == nil {
+		RunWorkers(workers, run)
+		return
+	}
+	g := NewGroupCtx(ctx, Default())
+	for w := 1; w < workers; w++ {
+		g.Go(run)
+	}
+	if ctx.Err() == nil {
+		run()
+	}
 	g.Wait()
 }

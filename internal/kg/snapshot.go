@@ -15,6 +15,12 @@ const (
 	snapVersion = 1
 )
 
+// SnapshotMagic is the byte string every graph snapshot stream starts
+// with — exposed so loaders can sniff a renamed snapshot file instead of
+// trusting its extension. Readers still validate the full header (magic,
+// version, trailer CRC) themselves.
+const SnapshotMagic = snapMagic
+
 // WriteSnapshot serializes the graph to w in the binary snapshot format:
 // dictionaries, per-node types, and the CSR adjacency, varint-encoded and
 // protected by a CRC32 trailer. Derived data (label counts, weights) is

@@ -20,6 +20,7 @@
 package metapath
 
 import (
+	"context"
 	"encoding/binary"
 	"math/rand"
 	"sort"
@@ -116,6 +117,19 @@ func (o MineOptions) withDefaults() MineOptions {
 // across workers and sorted by descending count (ties by shorter path, then
 // lexicographic key, so output is deterministic for a fixed seed).
 func Mine(g *kg.Graph, query []kg.NodeID, opt MineOptions) []Mined {
+	return MineCtx(context.Background(), g, query, opt)
+}
+
+// mineCheckInterval is how many walks a mining worker runs between ctx
+// probes: frequent enough that a large budget (the paper's 1M walks)
+// aborts in well under a walk-batch, rare enough that the probe is free.
+const mineCheckInterval = 4096
+
+// MineCtx is Mine under a cancellation context: workers check ctx every
+// mineCheckInterval walks and stop early once it is done. A cancelled
+// mine returns a truncated (meaningless) path set — callers must consult
+// ctx.Err() before using it; a live ctx changes nothing.
+func MineCtx(ctx context.Context, g *kg.Graph, query []kg.NodeID, opt MineOptions) []Mined {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
 	if n == 0 || len(query) == 0 || opt.Walks <= 0 {
@@ -154,6 +168,9 @@ func Mine(g *kg.Graph, query []kg.NodeID, opt MineOptions) []Mined {
 			}
 			labels := make(Path, 0, opt.MaxLength)
 			for i := 0; i < walks; i++ {
+				if i%mineCheckInterval == 0 && ctx.Err() != nil {
+					break
+				}
 				labels = labels[:0]
 				if p := walkOnce(g, inQuery, rng, opt, labels); p != nil {
 					k := p.Key()

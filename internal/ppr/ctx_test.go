@@ -1,0 +1,208 @@
+package ppr
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/qcache"
+)
+
+// countdownCtx cancels after a fixed number of Err() probes — the solve
+// loops check ctx between sweeps, so probe k is a deterministic mid-solve
+// cut point.
+type countdownCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func newCountdownCtx(k int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.left.Store(k)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// probes returns how many Err() checks have been consumed.
+func (c *countdownCtx) probes(budget int64) int64 { return budget - c.left.Load() }
+
+// TestPersonalizedSumCtxLiveMatchesPlain: a live ctx changes nothing —
+// the ctx variant is bitwise identical to the plain call.
+func TestPersonalizedSumCtxLiveMatchesPlain(t *testing.T) {
+	g := randomGraph(400, 1600, 17)
+	seeds := []kg.NodeID{3, 7, 11}
+	want := PersonalizedSum(g, seeds, Options{})
+	got := PersonalizedSumCtx(context.Background(), g, seeds, Options{})
+	assertSameBits(t, "live-ctx", got, want)
+}
+
+// TestPersonalizedSumCtxCancelledMidSolve: cutting the solve at every
+// probe depth never corrupts the seed cache. Seeds whose solves finished
+// before the cut may be stored — those vectors are complete — but a cut
+// before any solve completes stores nothing, and whatever an aborted run
+// left behind, a subsequent live run over the same cache must return the
+// exact cacheless bits (a partial vector in the cache would break this).
+func TestPersonalizedSumCtxCancelledMidSolve(t *testing.T) {
+	g := randomGraph(400, 1600, 17)
+	seeds := []kg.NodeID{3, 7, 11, 19}
+	want := PersonalizedSum(g, seeds, Options{})
+
+	const budget = int64(1 << 30)
+	full := newCountdownCtx(budget)
+	PersonalizedSumCtx(full, g, seeds, Options{})
+	total := full.probes(budget)
+	if total < 4 {
+		t.Fatalf("solve only probed ctx %d times", total)
+	}
+	for k := int64(0); k < total; k += 1 + total/8 {
+		cache := seedCacheOf(0)
+		PersonalizedSumCtx(newCountdownCtx(k), g, seeds, Options{SeedCache: cache})
+		if k == 0 {
+			// Cut before anything solved: the cache must be untouched.
+			if st := cache.Stats(); st.Layers[qcache.LayerSeed].Bytes != 0 || st.Size != 0 {
+				t.Fatalf("first-probe cut stored %d bytes / %d entries",
+					st.Layers[qcache.LayerSeed].Bytes, st.Size)
+			}
+		}
+		// The same cache must still serve a live run correctly afterwards.
+		got := PersonalizedSumCtx(context.Background(), g, seeds, Options{SeedCache: cache})
+		assertSameBits(t, "post-abort", got, want)
+	}
+}
+
+// TestPersonalizedSumMultiCtxCancelled: the batched solve aborts cleanly
+// at every cut depth — no partial seed-cache stores, nil or complete
+// output rows only, and a fresh run over the same cache is bitwise right.
+func TestPersonalizedSumMultiCtxCancelled(t *testing.T) {
+	defer func(v int64) { multiDenseMinEdges = v }(multiDenseMinEdges)
+	for _, kernel := range []bool{false, true} {
+		if kernel {
+			multiDenseMinEdges = 0
+		} else {
+			multiDenseMinEdges = 1 << 62
+		}
+		g := randomGraph(400, 1600, 17)
+		rng := rand.New(rand.NewSource(29))
+		queries := batchQueries(rng, 6, 4, g.NumNodes())
+		want := PersonalizedSumMulti(g, queries, Options{})
+
+		const budget = int64(1 << 30)
+		full := newCountdownCtx(budget)
+		PersonalizedSumMultiCtx(full, g, queries, Options{})
+		total := full.probes(budget)
+		for k := int64(0); k < total; k += 1 + total/8 {
+			cache := seedCacheOf(0)
+			out := PersonalizedSumMultiCtx(newCountdownCtx(k), g, queries, Options{SeedCache: cache})
+			if st := cache.Stats(); st.Size != 0 {
+				t.Fatalf("kernel=%v cut %d: aborted batch stored %d entries", kernel, k, st.Size)
+			}
+			// Rows released before the cut carry full results; the rest nil.
+			for qi := range out {
+				if out[qi] != nil {
+					assertSameBits(t, "released-before-cut", out[qi], want[qi])
+				}
+			}
+			got := PersonalizedSumMultiCtx(context.Background(), g, queries, Options{SeedCache: cache})
+			for qi := range queries {
+				assertSameBits(t, "post-abort-batch", got[qi], want[qi])
+			}
+		}
+	}
+}
+
+// TestPersonalizedSumMultiStreamBitwise: the stream releases every query
+// exactly once with bitwise the barriered batch's vectors — across the
+// serial and blocked dense paths, cache states, and parallelism.
+func TestPersonalizedSumMultiStreamBitwise(t *testing.T) {
+	defer func(v int64) { multiDenseMinEdges = v }(multiDenseMinEdges)
+	for _, kernel := range []bool{false, true} {
+		if kernel {
+			multiDenseMinEdges = 0
+		} else {
+			multiDenseMinEdges = 1 << 62
+		}
+		g := randomGraph(400, 1600, 17)
+		rng := rand.New(rand.NewSource(41))
+		queries := batchQueries(rng, 8, 4, g.NumNodes())
+		for _, par := range []int{1, 4} {
+			for _, cached := range []bool{false, true} {
+				opt := Options{Parallelism: par}
+				if cached {
+					opt.SeedCache = seedCacheOf(0)
+				}
+				want := PersonalizedSumMulti(g, queries, Options{Parallelism: par})
+				got := make([][]float64, len(queries))
+				calls := 0
+				err := PersonalizedSumMultiStream(context.Background(), g, queries, opt, func(qi int, sum []float64) {
+					calls++
+					if got[qi] != nil {
+						t.Fatalf("query %d released twice", qi)
+					}
+					got[qi] = sum
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if calls != len(queries) {
+					t.Fatalf("kernel=%v par=%d cached=%v: %d releases for %d queries",
+						kernel, par, cached, calls, len(queries))
+				}
+				for qi := range queries {
+					assertSameBits(t, "stream", got[qi], want[qi])
+				}
+				if cached {
+					// A second streamed pass is all cache hits, released
+					// before any solving, same bits.
+					again := make([][]float64, len(queries))
+					if err := PersonalizedSumMultiStream(context.Background(), g, queries, opt, func(qi int, sum []float64) {
+						again[qi] = sum
+					}); err != nil {
+						t.Fatal(err)
+					}
+					for qi := range queries {
+						assertSameBits(t, "stream-warm", again[qi], want[qi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPersonalizedSumMultiStreamCancelled: a cancelled stream returns
+// ctx.Err(), never releases a partial vector, and never double-releases.
+func TestPersonalizedSumMultiStreamCancelled(t *testing.T) {
+	g := randomGraph(400, 1600, 17)
+	rng := rand.New(rand.NewSource(53))
+	queries := batchQueries(rng, 6, 4, g.NumNodes())
+	want := PersonalizedSumMulti(g, queries, Options{})
+
+	const budget = int64(1 << 30)
+	full := newCountdownCtx(budget)
+	PersonalizedSumMultiStream(full, g, queries, Options{}, func(int, []float64) {})
+	total := full.probes(budget)
+	for k := int64(0); k < total; k += 1 + total/8 {
+		released := make([][]float64, len(queries))
+		err := PersonalizedSumMultiStream(newCountdownCtx(k), g, queries, Options{}, func(qi int, sum []float64) {
+			if released[qi] != nil {
+				t.Fatalf("cut %d: query %d released twice", k, qi)
+			}
+			released[qi] = sum
+		})
+		if err == nil {
+			t.Fatalf("cut %d: cancelled stream returned nil error", k)
+		}
+		for qi := range released {
+			if released[qi] != nil {
+				assertSameBits(t, "released-before-cancel", released[qi], want[qi])
+			}
+		}
+	}
+}

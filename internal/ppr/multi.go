@@ -17,9 +17,18 @@
 // per-column arithmetic replicates the serial kernel — and per-query sums
 // fold in seed-list order exactly as PersonalizedSum does, so the batch
 // output is bitwise identical to calling PersonalizedSum per query.
+//
+// PersonalizedSumMultiStream exposes the same solve as a stream: each
+// query's summed vector is released through a callback the moment its
+// last seed resolves — cache hits before any solving, sparse-only solves
+// during phase one, saturated solves as their dense column retires —
+// instead of barriering the whole batch. The solve schedule is untouched;
+// streaming only moves the fold earlier, so every released vector carries
+// exactly the bits the barriered call would return.
 package ppr
 
 import (
+	"context"
 	"runtime"
 	"sort"
 
@@ -32,22 +41,70 @@ import (
 // memory is O(unique seeds · n) for the per-seed result vectors plus
 // O(MaxGatherBlock · n) for the active dense block.
 func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]float64 {
+	return PersonalizedSumMultiCtx(context.Background(), g, queries, opt)
+}
+
+// PersonalizedSumMultiCtx is PersonalizedSumMulti under a cancellation
+// context: solves check ctx between sweeps and the batch stops within one
+// sweep of cancellation. Once ctx is done the returned slice is partial —
+// unresolved queries hold nil — and nothing partial enters the seed
+// cache; callers must treat ctx.Err() != nil as "no result".
+func PersonalizedSumMultiCtx(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]float64 {
+	out := make([][]float64, len(queries))
+	personalizedSumMultiStream(ctx, g, queries, opt, false, func(qi int, sum []float64) {
+		out[qi] = sum
+	})
+	return out
+}
+
+// PersonalizedSumMultiStream runs the batched multi-source solve and
+// invokes ready(qi, sum) exactly once per query, as soon as that query's
+// last seed has resolved — before other queries' solves complete. ready
+// is called synchronously from the solving goroutine (offload expensive
+// consumers); released vectors are bitwise identical to per-query
+// PersonalizedSum, whatever the release order. On cancellation the stream
+// stops within one sweep and queries not yet released never get a
+// callback; the returned error is ctx.Err().
+//
+// The stream runs each deduplicated seed's solve to completion in
+// first-appearance order instead of handing dense tails to the blocked
+// multi-vector kernel: the kernel amortizes the edge stream across
+// columns but retires them together, which would barrier every release
+// behind the whole batch's dense work — the opposite of streaming. The
+// per-seed schedule is exactly PersonalizedSum's, so the bits are
+// unchanged; only the batch's bandwidth amortization is traded for
+// release granularity. Barriered callers (PersonalizedSumMulti) keep the
+// kernel.
+func PersonalizedSumMultiStream(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Options, ready func(qi int, sum []float64)) error {
+	personalizedSumMultiStream(ctx, g, queries, opt, true, ready)
+	return ctx.Err()
+}
+
+// personalizedSumMultiStream is the shared engine behind the barriered
+// and streaming multi-source entry points: seed dedup, cache consult,
+// release bookkeeping, and the store phase are common; streaming selects
+// the per-seed completion schedule over the blocked dense kernel.
+func personalizedSumMultiStream(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Options, streaming bool, ready func(qi int, sum []float64)) {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
-	out := make([][]float64, len(queries))
 	if n == 0 {
-		for i := range out {
-			out[i] = make([]float64, 0)
+		for i := range queries {
+			ready(i, make([]float64, 0))
 		}
-		return out
+		return
 	}
 	if opt.Uniform {
 		// The uniform ablation's dense sweep is scatter-based with no
-		// blocked kernel; batch it query by query.
+		// blocked kernel; batch it query by query, releasing each as it
+		// completes.
 		for i, q := range queries {
-			out[i] = PersonalizedSum(g, q, opt)
+			sum := PersonalizedSumCtx(ctx, g, q, opt)
+			if ctx.Err() != nil {
+				return
+			}
+			ready(i, sum)
 		}
-		return out
+		return
 	}
 	budget := opt.Parallelism
 	if budget <= 0 {
@@ -70,9 +127,50 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 		}
 	}
 
+	// Release bookkeeping: which queries need which unique seeds, and how
+	// many of each query's seeds are still unsolved. seedQueries is
+	// deduplicated per query (a duplicated seed must decrement its query
+	// once, not twice), via a per-query stamp over the unique-seed index.
+	solves := make([]perSeed, len(uniq))
+	seedQueries := make([][]int, len(uniq))
+	remaining := make([]int, len(queries))
+	stamp := make([]int, len(uniq))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for qi, q := range queries {
+		for _, s := range q {
+			i := index[s]
+			if stamp[i] == qi {
+				continue
+			}
+			stamp[i] = qi
+			seedQueries[i] = append(seedQueries[i], qi)
+			remaining[qi]++
+		}
+	}
+	// foldAndEmit materializes one query's sum with the exact per-seed
+	// fold loops PersonalizedSum runs, so sums carry the same bits
+	// whenever they are released.
+	foldAndEmit := func(qi int) {
+		sum := make([]float64, n)
+		for _, s := range queries[qi] {
+			solves[index[s]].foldInto(sum, n)
+		}
+		ready(qi, sum)
+	}
+	// markResolved releases every query whose last unsolved seed is i.
+	markResolved := func(i int) {
+		for _, qi := range seedQueries[i] {
+			remaining[qi]--
+			if remaining[qi] == 0 {
+				foldAndEmit(qi)
+			}
+		}
+	}
+
 	// Seed-cache consult: unique seeds with a cached vector skip solving
 	// entirely; the rest (all of them, with no cache) enter the solve.
-	solves := make([]perSeed, len(uniq))
 	var prefix string
 	toSolve := make([]int, 0, len(uniq))
 	if opt.SeedCache != nil {
@@ -89,18 +187,80 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 			toSolve = append(toSolve, i)
 		}
 	}
+	// Queries with no seeds release immediately (a zero vector), and
+	// queries fully served by the cache release before any solving starts
+	// — the streaming fast path for warm overlap.
+	unresolved := make([]bool, len(uniq))
+	for _, i := range toSolve {
+		unresolved[i] = true
+	}
+	for qi := range queries {
+		if remaining[qi] == 0 {
+			foldAndEmit(qi)
+		}
+	}
+	for i := range uniq {
+		if !unresolved[i] {
+			// Cache hit: resolve now, releasing queries whose other seeds
+			// were hits too.
+			markResolved(i)
+		}
+	}
+
+	// Every abandonment path must hand the outstanding workspaces back to
+	// the pool; the blocked kernel nils ws as it absorbs columns.
+	defer func() {
+		for i := range solves {
+			if solves[i].ws != nil {
+				solves[i].ws.release()
+				solves[i].ws = nil
+			}
+		}
+	}()
+
+	if streaming {
+		// Streaming schedule: run each seed's full solve (sparse prefix +
+		// its own dense tail — PersonalizedSum's exact schedule) in
+		// first-appearance order, releasing dependent queries the moment
+		// each completes. The blocked kernel below would retire all
+		// columns together and barrier every release behind the batch's
+		// whole dense phase.
+		for _, i := range toSolve {
+			if ctx.Err() != nil {
+				return
+			}
+			ws := getWorkspace(n)
+			solves[i].ws = ws
+			personalizedInto(ctx, g, uniq[i:i+1], opt, ws)
+			if ctx.Err() != nil {
+				return
+			}
+			markResolved(i)
+		}
+		storeSolvedSeeds(toSolve, solves, uniq, opt, prefix, n)
+		return
+	}
 
 	// Phase one: each solved seed's frontier-sparse prefix, exactly as its
 	// solo run would execute it. Solves whose frontier never saturates
-	// finish here; the rest park at their dense switch point.
+	// finish — and release their queries — here; the rest park at their
+	// dense switch point.
 	var pending []pendingSolve
 	for _, i := range toSolve {
+		if ctx.Err() != nil {
+			return
+		}
 		ws := getWorkspace(n)
 		ws.init(g, uniq[i:i+1])
-		it := ws.sparsePhase(g, tr, opt, opt.Iterations)
+		it := ws.sparsePhase(ctx, g, tr, opt, opt.Iterations)
 		solves[i].ws = ws
+		if ctx.Err() != nil {
+			return
+		}
 		if it < opt.Iterations {
 			pending = append(pending, pendingSolve{ws: ws, rem: opt.Iterations - it, idx: i})
+		} else {
+			markResolved(i)
 		}
 	}
 
@@ -119,50 +279,49 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 			if end > len(pending) {
 				end = len(pending)
 			}
-			solveDenseBlock(tr, pending[base:end], solves, opt, n)
+			solveDenseBlock(ctx, tr, pending[base:end], solves, opt, n, markResolved)
+			if ctx.Err() != nil {
+				return
+			}
 		}
 	} else {
 		for _, ps := range pending {
 			for it := 0; it < ps.rem; it++ {
+				if ctx.Err() != nil {
+					return
+				}
 				ps.ws.denseStep(g, tr, opt)
 			}
+			markResolved(ps.idx)
 		}
 	}
 
-	// Store every freshly solved vector: materialize workspace results
-	// (the blocked kernel already extracted its columns) and hand them to
-	// the cache, so the next overlapping batch or refinement hits.
-	if opt.SeedCache != nil {
-		for _, i := range toSolve {
-			var v *seedVec
-			if solves[i].vec != nil {
-				v = &seedVec{dense: solves[i].vec}
-			} else {
-				v = extractSeedVec(solves[i].ws, n)
-				solves[i].ws.release()
-				solves[i].ws = nil
-			}
-			solves[i].cv = v
-			key := seedKey(prefix, uniq[i])
-			opt.SeedCache.PutSized(key, v, qcache.LayerSeed, v.footprint(len(key)))
-		}
-	}
+	storeSolvedSeeds(toSolve, solves, uniq, opt, prefix, n)
+}
 
-	// Fold per query in seed-list order, with the exact per-seed fold
-	// loops PersonalizedSum runs, so sums carry the same bits.
-	for qi, q := range queries {
-		sum := make([]float64, n)
-		for _, s := range q {
-			solves[index[s]].foldInto(sum, n)
-		}
-		out[qi] = sum
+// storeSolvedSeeds hands every freshly solved vector to the seed cache:
+// workspace results are materialized (the blocked kernel already
+// extracted its columns), so the next overlapping batch or refinement
+// hits. Callers only reach it with a live ctx — the solve loops bail out
+// first under cancellation, so only complete vectors are ever stored. A
+// nil SeedCache makes it a no-op.
+func storeSolvedSeeds(toSolve []int, solves []perSeed, uniq []kg.NodeID, opt Options, prefix string, n int) {
+	if opt.SeedCache == nil {
+		return
 	}
-	for i := range solves {
-		if solves[i].ws != nil {
+	for _, i := range toSolve {
+		var v *seedVec
+		if solves[i].vec != nil {
+			v = &seedVec{dense: solves[i].vec}
+		} else {
+			v = extractSeedVec(solves[i].ws, n)
 			solves[i].ws.release()
+			solves[i].ws = nil
 		}
+		solves[i].cv = v
+		key := seedKey(prefix, uniq[i])
+		opt.SeedCache.PutSized(key, v, qcache.LayerSeed, v.footprint(len(key)))
 	}
-	return out
 }
 
 // perSeed holds one unique seed's finished vector: still inside its
@@ -238,8 +397,11 @@ type denseCol struct {
 // teleport; a column retires when its iterations are done or when it hits
 // a bitwise fixed point (p == next everywhere), after which further
 // iterations could not change another bit. Retiring repacks the block to
-// the narrower stride, preserving column order.
-func solveDenseBlock(tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed, opt Options, n int) {
+// the narrower stride, preserving column order, and reports the finished
+// seed through onRetire — the streaming release hook (pass a no-op for
+// barriered callers). Cancellation is checked between gathers; abandoned
+// columns simply never retire.
+func solveDenseBlock(ctx context.Context, tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed, opt Options, n int, onRetire func(idx int)) {
 	b := len(blk)
 	pm := make([]float64, n*b)
 	nextM := make([]float64, n*b)
@@ -263,6 +425,9 @@ func solveDenseBlock(tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed,
 	checkFixedPoint := blk[0].rem > fixedPointMinRem
 	c := opt.Damping
 	for b > 0 {
+		if ctx.Err() != nil {
+			return
+		}
 		tr.GatherStepMultiParallel(nextM[:n*b], pm[:n*b], c, b, dangling, opt.gatherWorkers)
 		retired := false
 		for j := range cols {
@@ -285,9 +450,12 @@ func solveDenseBlock(tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed,
 			continue
 		}
 		// Extract finished columns and repack the survivors to the
-		// narrower stride, in place and in order.
+		// narrower stride, in place and in order. Each extracted seed
+		// resolves immediately — queries waiting only on it release here,
+		// mid-block, while the surviving columns keep iterating.
 		kept := cols[:0]
 		keptJ := make([]int, 0, b)
+		var done []int
 		for j := range cols {
 			if cols[j].rem == 0 {
 				v := make([]float64, n)
@@ -295,6 +463,7 @@ func solveDenseBlock(tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed,
 					v[x] = pm[x*b+j]
 				}
 				solves[cols[j].idx].vec = v
+				done = append(done, cols[j].idx)
 			} else {
 				kept = append(kept, cols[j])
 				keptJ = append(keptJ, j)
@@ -310,6 +479,9 @@ func solveDenseBlock(tr *kg.TransitionCSR, blk []pendingSolve, solves []perSeed,
 		}
 		cols = kept
 		b = nb
+		for _, idx := range done {
+			onRetire(idx)
+		}
 	}
 }
 

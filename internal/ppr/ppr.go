@@ -53,6 +53,7 @@
 package ppr
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -185,14 +186,21 @@ const denseSwitchDivisor = 6
 // iteration is a dense step. PersonalizedSumMulti drives the same two
 // phases but hands the dense tail to the blocked multi-vector kernel, so
 // both paths share each phase's code — and therefore its bits.
-func personalizedInto(g *kg.Graph, seeds []kg.NodeID, opt Options, ws *workspace) {
+//
+// Cancellation is checked between sweeps: once ctx is done the run stops
+// mid-schedule and leaves a partial vector in ws, so callers must consult
+// ctx.Err() before using (or caching) the result.
+func personalizedInto(ctx context.Context, g *kg.Graph, seeds []kg.NodeID, opt Options, ws *workspace) {
 	ws.init(g, seeds)
 	var tr *kg.TransitionCSR
 	if !opt.Uniform {
 		tr = g.Transitions()
 	}
-	it := ws.sparsePhase(g, tr, opt, opt.Iterations)
+	it := ws.sparsePhase(ctx, g, tr, opt, opt.Iterations)
 	for ; it < opt.Iterations; it++ {
+		if ctx.Err() != nil {
+			return
+		}
 		ws.denseStep(g, tr, opt)
 	}
 }
@@ -216,14 +224,19 @@ func (ws *workspace) init(g *kg.Graph, seeds []kg.NodeID) {
 
 // sparsePhase runs power iterations in the frontier-sparse regime until
 // the frontier saturates — setting ws.dense without running that
-// iteration — or limit iterations complete. Returns the number of
-// iterations run. The final vector is in ws.p with support ws.touched.
-func (ws *workspace) sparsePhase(g *kg.Graph, tr *kg.TransitionCSR, opt Options, limit int) int {
+// iteration — or limit iterations complete, or ctx is cancelled (the
+// caller detects that case via ctx.Err(), never through the return
+// value). Returns the number of iterations run. The final vector is in
+// ws.p with support ws.touched.
+func (ws *workspace) sparsePhase(ctx context.Context, g *kg.Graph, tr *kg.TransitionCSR, opt Options, limit int) int {
 	c := opt.Damping
 	p, next := ws.p, ws.next
 	touched, nextT := ws.touched, ws.nextT[:0]
 	it := 0
 	for ; it < limit; it++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if len(touched)*denseSwitchDivisor >= ws.n {
 			ws.dense = true
 			break
@@ -351,7 +364,7 @@ func Personalized(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 		return make([]float64, n)
 	}
 	ws := getWorkspace(n)
-	personalizedInto(g, seeds, opt, ws)
+	personalizedInto(context.Background(), g, seeds, opt, ws)
 	if ws.dense && len(ws.p) == n {
 		// Steal the dense result and hand the workspace a fresh zero
 		// vector in its place — cheaper than copying it out and clearing
@@ -388,6 +401,17 @@ func Personalized(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 // path; the fold replicates the cacheless additions exactly, so every
 // cache state returns the same bits.
 func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
+	return PersonalizedSumCtx(context.Background(), g, seeds, opt)
+}
+
+// PersonalizedSumCtx is PersonalizedSum under a cancellation context:
+// every solve checks ctx between power-iteration sweeps, so a dropped
+// request stops burning CPU within one sweep. Once ctx is done the
+// returned vector is partial and meaningless — callers must treat
+// ctx.Err() != nil as "no result" — and nothing partial is ever stored in
+// the seed cache. While ctx stays live the output is bitwise identical to
+// PersonalizedSum.
+func PersonalizedSumCtx(ctx context.Context, g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
 	sum := make([]float64, n)
@@ -399,7 +423,12 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	if opt.SeedCache != nil {
-		vecs := resolveSeedVecs(g, seeds, opt, budget)
+		vecs := resolveSeedVecs(ctx, g, seeds, opt, budget)
+		if ctx.Err() != nil {
+			// Some claimed entries may be nil (their solve was abandoned);
+			// the caller discards the sum anyway.
+			return sum
+		}
 		// Fold in seed-list order — the same per-slot addition sequence as
 		// the workspace fold below, whichever mix of cached and fresh
 		// vectors resolved.
@@ -419,12 +448,12 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	for i := range wss {
 		wss[i] = getWorkspace(n)
 	}
-	for base := 0; base < len(seeds); base += workers {
+	for base := 0; base < len(seeds) && ctx.Err() == nil; base += workers {
 		m := len(seeds) - base
 		if m > workers {
 			m = workers
 		}
-		runSeedBlock(g, seeds[base:base+m], opt, wss[:m])
+		runSeedBlock(ctx, g, seeds[base:base+m], opt, wss[:m])
 		// Fold in ascending seed order: addition order per element is the
 		// same as a sequential loop, for any worker count.
 		for j := 0; j < m; j++ {
@@ -451,14 +480,15 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 
 // runSeedBlock solves one single-seed run per seed concurrently, each
 // into its own workspace — the worker block shared by the cacheless pool
-// and the seed-cache miss path.
-func runSeedBlock(g *kg.Graph, seeds []kg.NodeID, opt Options, wss []*workspace) {
+// and the seed-cache miss path. Cancellation leaves partial workspaces;
+// callers check ctx before extracting or caching anything from them.
+func runSeedBlock(ctx context.Context, g *kg.Graph, seeds []kg.NodeID, opt Options, wss []*workspace) {
 	var wg sync.WaitGroup
 	wg.Add(len(seeds))
 	for j := range seeds {
 		go func(j int) {
 			defer wg.Done()
-			personalizedInto(g, seeds[j:j+1], opt, wss[j])
+			personalizedInto(ctx, g, seeds[j:j+1], opt, wss[j])
 		}(j)
 	}
 	wg.Wait()

@@ -20,6 +20,7 @@
 package ppr
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -107,7 +108,14 @@ func seedKey(prefix string, s kg.NodeID) string {
 // parallel blocks of Options.Parallelism workers (each solve replaying
 // exactly its solo schedule) and stored. opt must carry defaults and a
 // non-nil SeedCache.
-func resolveSeedVecs(g *kg.Graph, seeds []kg.NodeID, opt Options, budget int) map[kg.NodeID]*seedVec {
+//
+// Cancellation never corrupts the cache: a block whose solves were cut
+// short by ctx is discarded wholesale — the check runs after the block's
+// goroutines have all returned, and a solve only stops early once ctx is
+// done, so complete-looking workspaces past a cancelled check can simply
+// be dropped without storing. The map then keeps nil entries for the
+// abandoned seeds; callers bail on ctx.Err() before folding.
+func resolveSeedVecs(ctx context.Context, g *kg.Graph, seeds []kg.NodeID, opt Options, budget int) map[kg.NodeID]*seedVec {
 	prefix := seedKeyPrefix(opt)
 	vecs := make(map[kg.NodeID]*seedVec, len(seeds))
 	var missing []kg.NodeID
@@ -142,7 +150,15 @@ func resolveSeedVecs(g *kg.Graph, seeds []kg.NodeID, opt Options, budget int) ma
 		if m > workers {
 			m = workers
 		}
-		runSeedBlock(g, missing[base:base+m], opt, wss[:m])
+		runSeedBlock(ctx, g, missing[base:base+m], opt, wss[:m])
+		if ctx.Err() != nil {
+			// The block may hold partial vectors: store nothing, leave the
+			// block's seeds nil, and let the caller discard the whole run.
+			for j := 0; j < m; j++ {
+				wss[j].reset()
+			}
+			break
+		}
 		for j := 0; j < m; j++ {
 			s := missing[base+j]
 			v := extractSeedVec(wss[j], n)

@@ -33,11 +33,11 @@ func assertSameBits(t *testing.T, label string, got, want []float64) {
 func refinementSequence() [][]kg.NodeID {
 	return [][]kg.NodeID{
 		{3, 7},
-		{3, 7, 11},        // +1 seed: only 11 should solve on a warm cache
-		{3, 7, 11, 19},    // +1 more
-		{7, 11, 19},       // -1 seed: zero solves
-		{7, 11, 19, 7},    // duplicate seed: folds 7 twice
-		{23, 3, 7},        // new seed plus warm ones, permuted order
+		{3, 7, 11},         // +1 seed: only 11 should solve on a warm cache
+		{3, 7, 11, 19},     // +1 more
+		{7, 11, 19},        // -1 seed: zero solves
+		{7, 11, 19, 7},     // duplicate seed: folds 7 twice
+		{23, 3, 7},         // new seed plus warm ones, permuted order
 		{3, 7, 11, 19, 23}, // all warm
 	}
 }

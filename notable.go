@@ -15,13 +15,36 @@
 //	g := b.Build()
 //
 //	engine := notable.NewEngine(g, notable.Options{ContextSize: 30})
-//	res, err := engine.SearchNames("Angela Merkel", "Barack Obama")
+//	query, err := engine.Resolve("Angela Merkel", "Barack Obama")
+//	// handle err ...
+//	res, err := engine.Do(ctx, notable.Query{Nodes: query})
 //	for _, c := range res.NotableOnly() {
 //	    fmt.Printf("%s (score %.2f, %s)\n", c.Name, c.Score, c.Kind)
 //	}
 //
 // Graphs can be built programmatically (NewBuilder), loaded from triple
 // files (LoadGraphFile), or restored from binary snapshots (ReadSnapshot).
+//
+// # Requests
+//
+// Serving is request-scoped. A Query carries the query nodes plus
+// per-request overrides of the engine's Options (context size, selector,
+// significance level, unseen-value policy, test samples, parallelism,
+// top-k cut) — zero values inherit the engine's defaults, so
+// Query{Nodes: q} reproduces engine-level configuration exactly.
+// Engine.Do serves one request, Engine.DoBatch a batch (amortizing the
+// cold path across overlapping queries), and Engine.DoStream a batch as a
+// stream of Outcomes that yields each result the moment it completes
+// instead of barriering — the first result of an overlapping batch
+// typically lands in a fraction of the batch's total wall-clock.
+//
+// Every entry point takes a context.Context and honors cancellation
+// mid-request: a dropped request stops burning CPU within one PageRank
+// sweep or one label test and returns ctx.Err(). Failures are typed —
+// ErrEmptyQuery (errors.Is) and *UnresolvedError (errors.As) — never
+// bare strings. The pre-context entry points (Search, SearchBatch,
+// SearchNames, Compare) remain as thin deprecated wrappers over Do and
+// DoBatch with identical output.
 //
 // # Caching and determinism
 //
@@ -42,16 +65,22 @@
 // counts survive a refinement skip the sampling loop outright.
 // CacheStats exposes hit/miss counters and resident bytes per layer.
 //
-// # Batching
+// # Batching and streaming
 //
-// SearchBatch serves many independent queries in one pass over the cold
+// DoBatch serves many independent queries in one pass over the cold
 // pipeline: each query consults the cache first, the misses share one
 // multi-source PageRank solve (each distinct seed across the batch is
 // solved once, with dense iterations blocked through a multi-vector
 // gather kernel on large graphs), and the comparison stages fan out
 // through a process-wide bounded executor. Batches of overlapping cold
 // queries — eval sweeps, batch entity profiling, bursty traffic — run
-// severalfold faster than sequential Search calls with identical output.
+// severalfold faster than sequential Do calls with identical output.
+//
+// DoStream runs the same deduplicated batch but releases each query to
+// its comparison stage as soon as its PageRank sum folds, emitting
+// results in completion order: time-to-first-result drops from "the
+// whole batch" to roughly "one query", while per-query results stay
+// bitwise identical to solo Do calls.
 //
 // Neither caching, batching, nor parallelism changes results: every
 // randomized component takes an explicit seed, label tests run on a
@@ -62,6 +91,8 @@
 package notable
 
 import (
+	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -252,11 +283,13 @@ func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *Graph { return e.g }
 
-// Resolve maps entity names (exact or fuzzy) to node IDs.
+// Resolve maps entity names (exact or fuzzy) to node IDs. Names that
+// match nothing are reported through an *UnresolvedError carrying the
+// missing names (recover it with errors.As for did-you-mean handling).
 func (e *Engine) Resolve(names ...string) ([]NodeID, error) {
 	ids, missing := e.idx.Resolve(names)
 	if len(missing) > 0 {
-		return ids, fmt.Errorf("notable: unresolved entities: %s", strings.Join(missing, ", "))
+		return ids, &UnresolvedError{Missing: missing}
 	}
 	return ids, nil
 }
@@ -276,9 +309,10 @@ func (e *Engine) seedCache() *qcache.Cache {
 	return e.cache
 }
 
-// selector instantiates the configured context selector.
-func (e *Engine) selector() ctxsel.Selector {
-	switch e.opt.Selector {
+// selectorFor instantiates the context selector configured by opt — the
+// engine's options with any per-request overrides already applied.
+func (e *Engine) selectorFor(opt Options) ctxsel.Selector {
+	switch opt.Selector {
 	case SelectorRandomWalk:
 		return ctxsel.RandomWalk{Opt: ppr.Options{SeedCache: e.seedCache()}}
 	case SelectorSimRank:
@@ -286,7 +320,7 @@ func (e *Engine) selector() ctxsel.Selector {
 	case SelectorJaccard:
 		return ctxsel.Jaccard{}
 	default:
-		return ctxsel.ContextRW{Walks: e.opt.Walks, Seed: e.opt.Seed}
+		return ctxsel.ContextRW{Walks: opt.Walks, Seed: opt.Seed}
 	}
 }
 
@@ -312,29 +346,47 @@ func scoresFootprint(scores []float64, key string) int64 {
 
 // Select implements ctxsel.Selector.
 func (cs cachedSelector) Select(g *kg.Graph, query []NodeID, k int) []topk.Item {
+	return cs.SelectCtx(context.Background(), g, query, k)
+}
+
+// SelectCtx implements ctxsel.CtxSelector: the cache consult is free
+// either way, the inner selector gets ctx when it honors one, and a score
+// vector cut short by cancellation is never stored.
+func (cs cachedSelector) SelectCtx(ctx context.Context, g *kg.Graph, query []NodeID, k int) []topk.Item {
 	prefix := cs.prefix()
 	if scorer, ok := cs.inner.(ctxsel.Scorer); ok {
 		key, cacheable := qcache.Key(prefix, query)
 		if !cacheable {
-			return cs.inner.Select(g, query, k)
+			return ctxsel.Select(ctx, cs.inner, g, query, k)
 		}
 		if v, hit := cs.e.cache.Get(key); hit {
 			return ctxsel.TopKFromScores(v.([]float64), query, k)
 		}
-		scores := scorer.Scores(g, query)
+		var scores []float64
+		if cscorer, ok := cs.inner.(ctxsel.CtxScorer); ok {
+			scores = cscorer.ScoresCtx(ctx, g, query)
+		} else {
+			scores = scorer.Scores(g, query)
+		}
+		if ctx.Err() != nil {
+			return nil // partial vector: not stored, not usable
+		}
 		cs.e.cache.PutSized(key, scores, qcache.LayerSelector, scoresFootprint(scores, key))
 		return ctxsel.TopKFromScores(scores, query, k)
 	}
 	key, cacheable := qcache.Key(fmt.Sprintf("%s|k%d", prefix, k), query)
 	if !cacheable {
-		return cs.inner.Select(g, query, k)
+		return ctxsel.Select(ctx, cs.inner, g, query, k)
 	}
 	// Contexts are cached as private copies: callers own (and may mutate)
 	// every slice they receive, matching the uncached selectors.
 	if v, hit := cs.e.cache.Get(key); hit {
 		return append([]topk.Item(nil), v.([]topk.Item)...)
 	}
-	items := cs.inner.Select(g, query, k)
+	items := ctxsel.Select(ctx, cs.inner, g, query, k)
+	if ctx.Err() != nil {
+		return nil
+	}
 	cs.e.cache.PutSized(key, append([]topk.Item(nil), items...),
 		qcache.LayerSelector, 16*int64(len(items))+int64(len(key))+48)
 	return items
@@ -346,56 +398,162 @@ func (cs cachedSelector) prefix() string {
 
 // SelectBatch implements ctxsel.BatchSelector: each query consults the
 // cache first, and only the misses enter the inner selector — batched
-// through ScoresBatch (the multi-source PageRank solve) when the inner
-// selector provides it. Hits, misses, and every batch size produce
-// exactly what per-query Select calls would.
+// through the multi-source PageRank solve when the inner selector
+// provides it. Hits, misses, and every batch size produce exactly what
+// per-query Select calls would.
 func (cs cachedSelector) SelectBatch(g *kg.Graph, queries [][]NodeID, k int) [][]topk.Item {
-	out := make([][]topk.Item, len(queries))
-	scorer, isScorer := cs.inner.(ctxsel.Scorer)
-	if !isScorer {
-		// Ranked-context caching is per (query, k); resolve query by query.
-		for i, q := range queries {
-			out[i] = cs.Select(g, q, k)
-		}
-		return out
-	}
+	return cs.SelectBatchCtx(context.Background(), g, queries, k)
+}
+
+// scorerBatchPlan is the shared cache consult of the scorer-based batch
+// paths: one pass over the queries serving hits through ready
+// immediately and listing the misses for whichever solve (barriered or
+// streaming) the caller dispatches; release stores and releases one
+// solved miss. Hits, misses, and either solve produce exactly what
+// per-query Select calls would.
+type scorerBatchPlan struct {
+	missIdx     []int
+	missQueries [][]NodeID
+	release     func(j int, scores []float64)
+}
+
+// planScorerBatch builds the consult plan for a scorer-based batch. A
+// released score vector is stored only under a live ctx (the solvers
+// only release complete vectors, but the gate keeps the contract
+// obvious) and only for cacheable keys.
+func (cs cachedSelector) planScorerBatch(ctx context.Context, g *kg.Graph, queries [][]NodeID, k int, ready func(i int, items []topk.Item)) scorerBatchPlan {
 	prefix := cs.prefix()
 	keys := make([]string, len(queries))
-	var missIdx []int
-	var missQueries [][]NodeID
+	var p scorerBatchPlan
 	for i, q := range queries {
 		key, cacheable := qcache.Key(prefix, q)
 		if cacheable {
 			if v, hit := cs.e.cache.Get(key); hit {
-				out[i] = ctxsel.TopKFromScores(v.([]float64), q, k)
+				ready(i, ctxsel.TopKFromScores(v.([]float64), q, k))
 				continue
 			}
 			keys[i] = key
 		}
 		// Cache misses and uncacheable (duplicate-node) queries both go to
 		// the solver; only the former are stored afterwards.
-		missIdx = append(missIdx, i)
-		missQueries = append(missQueries, q)
+		p.missIdx = append(p.missIdx, i)
+		p.missQueries = append(p.missQueries, q)
 	}
-	if len(missQueries) == 0 {
+	p.release = func(j int, scores []float64) {
+		i := p.missIdx[j]
+		if keys[i] != "" && ctx.Err() == nil {
+			cs.e.cache.PutSized(keys[i], scores, qcache.LayerSelector, scoresFootprint(scores, keys[i]))
+		}
+		ready(i, ctxsel.TopKFromScores(scores, queries[i], k))
+	}
+	return p
+}
+
+// SelectBatchCtx implements ctxsel.CtxBatchSelector: cache hits first,
+// then the misses enter the inner selector's barriered batch solve —
+// CtxBatchScorer/BatchScorer before any streaming path, so a barriered
+// batch keeps the blocked multi-vector gather kernel the streaming
+// schedule trades away. Once ctx is done, unreleased entries stay nil.
+func (cs cachedSelector) SelectBatchCtx(ctx context.Context, g *kg.Graph, queries [][]NodeID, k int) [][]topk.Item {
+	out := make([][]topk.Item, len(queries))
+	ready := func(i int, items []topk.Item) { out[i] = items }
+	if _, isScorer := cs.inner.(ctxsel.Scorer); !isScorer {
+		// Ranked-context caching is per (query, k); resolve query by query.
+		for i, q := range queries {
+			if ctx.Err() != nil {
+				return out
+			}
+			out[i] = cs.SelectCtx(ctx, g, q, k)
+		}
+		return out
+	}
+	p := cs.planScorerBatch(ctx, g, queries, k, ready)
+	if len(p.missQueries) == 0 {
 		return out
 	}
 	var scores [][]float64
-	if bs, ok := cs.inner.(ctxsel.BatchScorer); ok {
-		scores = bs.ScoresBatch(g, missQueries)
+	if bs, ok := cs.inner.(ctxsel.CtxBatchScorer); ok {
+		scores = bs.ScoresBatchCtx(ctx, g, p.missQueries)
+		if ctx.Err() != nil {
+			return out
+		}
+	} else if bs, ok := cs.inner.(ctxsel.BatchScorer); ok {
+		scores = bs.ScoresBatch(g, p.missQueries)
 	} else {
-		scores = make([][]float64, len(missQueries))
-		for j, q := range missQueries {
-			scores[j] = scorer.Scores(g, q)
+		scores = make([][]float64, len(p.missQueries))
+		for j, q := range p.missQueries {
+			if ctx.Err() != nil {
+				return out
+			}
+			scores[j] = ctxselScores(ctx, cs.inner.(ctxsel.Scorer), g, q)
+			if ctx.Err() != nil {
+				return out
+			}
 		}
 	}
-	for j, i := range missIdx {
-		if keys[i] != "" {
-			cs.e.cache.PutSized(keys[i], scores[j], qcache.LayerSelector, scoresFootprint(scores[j], keys[i]))
-		}
-		out[i] = ctxsel.TopKFromScores(scores[j], queries[i], k)
+	for j := range p.missQueries {
+		p.release(j, scores[j])
 	}
 	return out
+}
+
+// ctxselScores resolves one query's score vector, threading ctx when the
+// scorer supports it.
+func ctxselScores(ctx context.Context, sc ctxsel.Scorer, g *kg.Graph, q []NodeID) []float64 {
+	if cs, ok := sc.(ctxsel.CtxScorer); ok {
+		return cs.ScoresCtx(ctx, g, q)
+	}
+	return sc.Scores(g, q)
+}
+
+// SelectStreamBatch implements ctxsel.StreamBatchSelector: cache hits
+// release immediately (in query order), and the misses enter the inner
+// selector's streaming solve, each releasing — and being stored — as its
+// score vector folds. Every released context is exactly what a per-query
+// Select would return; a cancelled ctx stops the solve within one sweep
+// and withholds the unreleased queries.
+func (cs cachedSelector) SelectStreamBatch(ctx context.Context, g *kg.Graph, queries [][]NodeID, k int, ready func(i int, items []topk.Item)) {
+	scorer, isScorer := cs.inner.(ctxsel.Scorer)
+	if !isScorer {
+		// Ranked-context caching is per (query, k); resolve query by query,
+		// releasing each as it completes.
+		for i, q := range queries {
+			if ctx.Err() != nil {
+				return
+			}
+			items := cs.SelectCtx(ctx, g, q, k)
+			if ctx.Err() != nil {
+				return
+			}
+			ready(i, items)
+		}
+		return
+	}
+	p := cs.planScorerBatch(ctx, g, queries, k, ready)
+	if len(p.missQueries) == 0 {
+		return
+	}
+	if ss, ok := cs.inner.(ctxsel.StreamScorer); ok {
+		ss.ScoresStream(ctx, g, p.missQueries, p.release)
+		return
+	}
+	if bs, ok := cs.inner.(ctxsel.BatchScorer); ok {
+		scores := bs.ScoresBatch(g, p.missQueries)
+		for j := range p.missQueries {
+			p.release(j, scores[j])
+		}
+		return
+	}
+	for j, q := range p.missQueries {
+		if ctx.Err() != nil {
+			return
+		}
+		scores := ctxselScores(ctx, scorer, g, q)
+		if ctx.Err() != nil {
+			return
+		}
+		p.release(j, scores)
+	}
 }
 
 // cachedSelectorFor wraps sel with the engine cache unless caching is
@@ -407,76 +565,102 @@ func (e *Engine) cachedSelectorFor(sel ctxsel.Selector) ctxsel.Selector {
 	return cachedSelector{e: e, inner: sel}
 }
 
-// coreOptions translates the facade options.
-func (e *Engine) coreOptions() core.Options {
+// coreOptionsFor translates opt — the engine's options with any
+// per-request overrides already applied — into the core pipeline's
+// options. The caches stay engine-level: overrides never fork cache
+// state, they only reconfigure one request's pipeline.
+func (e *Engine) coreOptionsFor(opt Options) core.Options {
 	policy := dist.UnseenStrict
-	if e.opt.Policy == PolicyPooled {
+	if opt.Policy == PolicyPooled {
 		policy = dist.UnseenPooled
 	}
 	return core.Options{
-		ContextSize: e.opt.ContextSize,
-		Selector:    e.cachedSelectorFor(e.selector()),
+		ContextSize: opt.ContextSize,
+		Selector:    e.cachedSelectorFor(e.selectorFor(opt)),
 		Test: stats.Multinomial{
-			Alpha:      e.opt.Alpha,
-			Seed:       e.opt.Seed,
-			Samples:    e.opt.TestSamples,
-			ExactLimit: e.opt.TestExactLimit,
+			Alpha:      opt.Alpha,
+			Seed:       opt.Seed,
+			Samples:    opt.TestSamples,
+			ExactLimit: opt.TestExactLimit,
 			Nulls:      e.cache,
 		},
-		SkipInverse: !e.opt.IncludeInverse,
+		SkipInverse: !opt.IncludeInverse,
 		Policy:      policy,
-		Parallelism: e.opt.Parallelism,
-		Seed:        e.opt.Seed,
+		Parallelism: opt.Parallelism,
+		Seed:        opt.Seed,
 		TestCache:   e.cache,
 	}
 }
 
 // Search runs the full pipeline (context selection + distribution
 // comparison) for the query nodes.
+//
+// Deprecated: use Do, which adds request-scoped cancellation and
+// per-request overrides. Search(q) is exactly
+// Do(context.Background(), Query{Nodes: q}).
 func (e *Engine) Search(query []NodeID) (Result, error) {
-	if len(query) == 0 {
-		return Result{}, fmt.Errorf("notable: empty query")
-	}
-	return core.FindNC(e.g, query, e.coreOptions()), nil
+	return e.Do(context.Background(), Query{Nodes: query})
 }
 
 // SearchBatch runs Search for every query in one batched pass and returns
-// one Result per query, in order. The batch amortizes the cold path:
-// per-query cache consults come first, the misses enter one multi-source
-// PageRank solve (unique seeds across the batch solved once, dense
-// iterations blocked through the multi-vector gather kernel), and the
-// comparison stages fan out through the process-wide executor. Results
-// are bitwise identical to calling Search per query — batching, like
-// caching, only removes repeated work — for every batch size and
-// parallelism. Batches of independent cold queries (eval sweeps, batch
-// entity profiling, bursty serving traffic) are the intended workload.
+// one Result per query, in order.
+//
+// Deprecated: use DoBatch (one batched pass, request-scoped), or DoStream
+// to receive each result as it completes instead of barriering on the
+// batch. SearchBatch(qs) returns exactly what DoBatch returns for the
+// same queries with no overrides.
 func (e *Engine) SearchBatch(queries [][]NodeID) ([]Result, error) {
+	qs := make([]Query, len(queries))
 	for i, q := range queries {
-		if len(q) == 0 {
-			return nil, fmt.Errorf("notable: empty query at batch index %d", i)
-		}
+		qs[i] = Query{Nodes: q}
 	}
-	return core.FindNCBatch(e.g, queries, e.coreOptions()), nil
+	return e.DoBatch(context.Background(), qs)
 }
 
 // SearchNames resolves entity names and runs Search.
+//
+// Deprecated: use Resolve followed by Do; the two-step form exposes the
+// *UnresolvedError for did-you-mean handling and takes a ctx.
 func (e *Engine) SearchNames(names ...string) (Result, error) {
 	query, err := e.Resolve(names...)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Search(query)
+	return e.Do(context.Background(), Query{Nodes: query})
 }
 
 // Context returns only the top-k similar nodes for a query.
 func (e *Engine) Context(query []NodeID, k int) []ContextItem {
-	return e.cachedSelectorFor(e.selector()).Select(e.g, query, k)
+	return e.cachedSelectorFor(e.selectorFor(e.opt)).Select(e.g, query, k)
 }
 
 // Compare runs only the distribution-comparison stage against an explicit
 // context set (bring-your-own-context).
-func (e *Engine) Compare(query, context []NodeID) []Characteristic {
-	return core.CompareSets(e.g, query, context, e.coreOptions())
+//
+// Deprecated: use DoCompare, which adds request-scoped cancellation and
+// per-request overrides.
+func (e *Engine) Compare(query, contextSet []NodeID) []Characteristic {
+	out, _ := e.DoCompare(context.Background(), query, contextSet, Query{})
+	return out
+}
+
+// DoCompare runs only the distribution-comparison stage against an
+// explicit context set (bring-your-own-context), under q's per-request
+// overrides — including the TopK payload cut (q.Nodes and ContextSize
+// are ignored; pass Query{} for engine defaults). Cancellation stops the
+// label pool within one test and returns ctx.Err().
+func (e *Engine) DoCompare(ctx context.Context, query, contextSet []NodeID, q Query) ([]Characteristic, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, err := core.CompareSets(ctx, e.g, query, contextSet, e.coreOptionsFor(e.opt.apply(q)))
+	if err != nil {
+		return nil, err
+	}
+	if q.TopK > 0 && len(out) > q.TopK {
+		out = out[:q.TopK:q.TopK]
+	}
+	return out, nil
 }
 
 // LoadGraph reads triples (N-Triples subset or TSV) from r and builds a
@@ -491,8 +675,10 @@ func LoadGraph(r io.Reader, typePredicate string) (*Graph, error) {
 }
 
 // LoadGraphFile loads a graph from a file path: binary snapshots (written
-// by SaveSnapshotFile) are detected by the .kgsnap extension, anything
-// else parses as triples with "type" as the type predicate.
+// by SaveSnapshotFile) are detected by the .kgsnap extension or — so a
+// renamed snapshot loads rather than failing as a triple parse — by
+// sniffing the snapshot magic bytes; anything else parses as triples with
+// "type" as the type predicate.
 func LoadGraphFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -500,9 +686,14 @@ func LoadGraphFile(path string) (*Graph, error) {
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".kgsnap") {
+		// Fast path: the canonical extension skips the sniff.
 		return kg.ReadSnapshot(f)
 	}
-	return LoadGraph(f, "type")
+	br := bufio.NewReader(f)
+	if head, err := br.Peek(len(kg.SnapshotMagic)); err == nil && string(head) == kg.SnapshotMagic {
+		return kg.ReadSnapshot(br)
+	}
+	return LoadGraph(br, "type")
 }
 
 // SaveSnapshotFile writes the graph's binary snapshot to path.

@@ -1,0 +1,397 @@
+package notable
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/qcache"
+)
+
+// TestDoMatchesSearchBitwise: for equal engine options and no overrides,
+// Do is bitwise identical to the deprecated Search — across selectors and
+// cache states.
+func TestDoMatchesSearchBitwise(t *testing.T) {
+	g := buildLeaders()
+	for _, sel := range []string{SelectorRandomWalk, SelectorContextRW} {
+		for _, cacheSize := range []int{0, -1} {
+			opt := Options{ContextSize: 6, Selector: sel, Walks: 20000, Seed: 3,
+				TestSamples: 500, CacheSize: cacheSize}
+			searchEng := NewEngine(g, opt)
+			queries := leaderQueries(t, searchEng, 4)
+			want := searchSequential(t, searchEng, queries)
+
+			doEng := NewEngine(g, opt)
+			for i, q := range queries {
+				got, err := doEng.Do(context.Background(), Query{Nodes: q})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Fatalf("sel=%s cache=%d: Do(%d) differs from Search", sel, cacheSize, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDoOverridesMatchEngineOptions: a per-request override must produce
+// exactly what an engine configured with that option produces — for every
+// overridable field.
+func TestDoOverridesMatchEngineOptions(t *testing.T) {
+	g := buildLeaders()
+	base := Options{ContextSize: 6, Walks: 20000, Seed: 3, TestSamples: 500}
+	e := NewEngine(g, base)
+	nodes, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		q    Query
+		opt  func(Options) Options
+	}{
+		{"ContextSize", Query{ContextSize: 4}, func(o Options) Options { o.ContextSize = 4; return o }},
+		{"Selector", Query{Selector: SelectorRandomWalk}, func(o Options) Options { o.Selector = SelectorRandomWalk; return o }},
+		{"Alpha", Query{Alpha: 0.2}, func(o Options) Options { o.Alpha = 0.2; return o }},
+		{"Policy", Query{Policy: PolicyPooled}, func(o Options) Options { o.Policy = PolicyPooled; return o }},
+		{"TestSamples", Query{TestSamples: 750}, func(o Options) Options { o.TestSamples = 750; return o }},
+		{"Parallelism", Query{Parallelism: 2}, func(o Options) Options { o.Parallelism = 2; return o }},
+	}
+	for _, tc := range cases {
+		q := tc.q
+		q.Nodes = nodes
+		got, err := NewEngine(g, base).Do(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := NewEngine(g, tc.opt(base)).Search(nodes)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s override differs from engine-level option", tc.name)
+		}
+	}
+}
+
+// TestDoTopK: the TopK cut truncates the ranked characteristics and
+// nothing else.
+func TestDoTopK(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{ContextSize: 6, Walks: 20000, Seed: 3, TestSamples: 500})
+	nodes, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.Do(context.Background(), Query{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Characteristics) < 3 {
+		t.Skipf("only %d characteristics; fixture too small", len(full.Characteristics))
+	}
+	cut, err := e.Do(context.Background(), Query{Nodes: nodes, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut.Characteristics) != 2 {
+		t.Fatalf("TopK=2 returned %d characteristics", len(cut.Characteristics))
+	}
+	if !reflect.DeepEqual(cut.Characteristics, full.Characteristics[:2]) {
+		t.Fatal("TopK cut is not the prefix of the full ranking")
+	}
+	if !reflect.DeepEqual(cut.Context, full.Context) {
+		t.Fatal("TopK changed the context")
+	}
+	// A cut beyond the tested label count is a no-op.
+	big, err := e.Do(context.Background(), Query{Nodes: nodes, TopK: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(big, full) {
+		t.Fatal("oversized TopK changed the result")
+	}
+}
+
+// TestDoBatchMatchesSearchBatchBitwise: with no overrides, DoBatch is the
+// same batched pass as the deprecated SearchBatch.
+func TestDoBatchMatchesSearchBatchBitwise(t *testing.T) {
+	g := buildLeaders()
+	opt := Options{ContextSize: 6, Selector: SelectorRandomWalk, Seed: 3, TestSamples: 500}
+	oldEng := NewEngine(g, opt)
+	queries := leaderQueries(t, oldEng, 6)
+	want, err := oldEng.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEng := NewEngine(g, opt)
+	qs := make([]Query, len(queries))
+	for i, q := range queries {
+		qs[i] = Query{Nodes: q}
+	}
+	got, err := newEng.DoBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("DoBatch differs from SearchBatch")
+	}
+}
+
+// TestDoBatchMixedOverrides: a batch whose queries carry different
+// overrides groups by effective options and still returns, per query,
+// exactly what a solo Do with the same overrides returns.
+func TestDoBatchMixedOverrides(t *testing.T) {
+	g := buildLeaders()
+	opt := Options{ContextSize: 6, Selector: SelectorRandomWalk, Seed: 3, TestSamples: 500}
+	e := NewEngine(g, opt)
+	queries := leaderQueries(t, e, 5)
+	qs := make([]Query, len(queries))
+	for i, q := range queries {
+		qs[i] = Query{Nodes: q}
+	}
+	qs[1].ContextSize = 4
+	qs[2].Alpha = 0.2
+	qs[3].TopK = 1 // post-cut: must not split the solve group
+	got, err := e.DoBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := NewEngine(g, opt)
+	for i, q := range qs {
+		want, err := solo.Do(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("batch result %d differs from solo Do with the same overrides", i)
+		}
+	}
+}
+
+// TestTypedErrors: the sentinel and struct errors survive the public
+// entry points with errors.Is/As support.
+func TestTypedErrors(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{ContextSize: 4, Walks: 5000, Seed: 1})
+	ctx := context.Background()
+	if _, err := e.Do(ctx, Query{}); !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("Do on empty query: %v, want ErrEmptyQuery", err)
+	}
+	if _, err := e.Search(nil); !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("Search(nil): %v, want ErrEmptyQuery", err)
+	}
+	_, err := e.DoBatch(ctx, []Query{{Nodes: []NodeID{1}}, {}})
+	if !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("DoBatch with empty query: %v, want ErrEmptyQuery", err)
+	}
+	if want := "batch index 1"; err == nil || !contains(err.Error(), want) {
+		t.Fatalf("DoBatch error %q does not name the index", err)
+	}
+
+	_, err = e.Resolve("Angela Merkel", "No Such Person", "Nor This One")
+	var ue *UnresolvedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Resolve: %v, want *UnresolvedError", err)
+	}
+	if !reflect.DeepEqual(ue.Missing, []string{"No Such Person", "Nor This One"}) {
+		t.Fatalf("Missing = %v", ue.Missing)
+	}
+	if _, err := e.SearchNames("No Such Person"); !errors.As(err, &ue) {
+		t.Fatalf("SearchNames: %v, want *UnresolvedError", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// countdownCtx is a context.Context whose Err flips to Canceled after a
+// fixed number of Err() probes — a deterministic way to cancel "mid-PPR"
+// or "mid-comparison": the pipeline checks ctx between sweeps and label
+// tests, so the k-th check is a precise cut point regardless of timing.
+type countdownCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func newCountdownCtx(k int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.left.Store(k)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestDoCancelledMidFlight: cancelling partway through the pipeline (at
+// every feasible probe depth) returns context.Canceled, and the engine's
+// shared cache is never corrupted — a subsequent identical request on the
+// same engine returns bitwise what a fresh engine computes.
+func TestDoCancelledMidFlight(t *testing.T) {
+	g := buildLeaders()
+	opt := Options{ContextSize: 6, Selector: SelectorRandomWalk, Seed: 3, TestSamples: 500}
+	e := NewEngine(g, opt)
+	nodes, err := e.Resolve("Angela Merkel", "Barack Obama", "Vladimir Putin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEngine(g, opt).Do(context.Background(), Query{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find how many probes a cold run needs, then cancel at depths below
+	// it: early cuts land mid-PPR, later ones mid-comparison. Each cut
+	// runs on a cold engine — a warm engine skips probe points along with
+	// the work, so only a cold run's probe schedule is deterministic.
+	probe := newCountdownCtx(1 << 30)
+	if _, err := e.Do(probe, Query{Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	total := (1 << 30) - probe.left.Load()
+	if total < 4 {
+		t.Fatalf("pipeline only probed ctx %d times; cut points too coarse", total)
+	}
+	scarred := NewEngine(g, opt)
+	for k := int64(0); k < total; k += 1 + total/16 {
+		if _, err := NewEngine(g, opt).Do(newCountdownCtx(k), Query{Nodes: nodes}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cold cut at probe %d: err = %v, want context.Canceled", k, err)
+		}
+		// The same cut against one accumulating engine: its cache absorbs
+		// whatever the aborted runs stored. Warm skips can let a late cut
+		// finish early, so only the error type is constrained, not its
+		// presence.
+		if _, err := scarred.Do(newCountdownCtx(k), Query{Nodes: nodes}); err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("scarred cut at probe %d: unexpected err %v", k, err)
+		}
+	}
+	// The aborted runs may have cached complete sub-results but never
+	// partial ones: the same request must now complete bitwise
+	// identically to the uncancelled engine.
+	got, err := scarred.Do(context.Background(), Query{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("result after cancelled runs differs — cache corrupted")
+	}
+	// And the cache still behaves as a cache: a warm repeat is pure hits.
+	missesBefore := scarred.CacheStats().Misses
+	if _, err := scarred.Do(context.Background(), Query{Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	if st := scarred.CacheStats(); st.Misses != missesBefore {
+		t.Fatalf("warm repeat missed after cancelled runs: %+v", st)
+	}
+}
+
+// TestDoCompareMatchesCompare: the request-scoped comparison stage equals
+// the deprecated wrapper and honors overrides.
+func TestDoCompareMatchesCompare(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{ContextSize: 6, Walks: 20000, Seed: 3, TestSamples: 500})
+	nodes, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cset := e.Context(nodes, 5)
+	ids := make([]NodeID, len(cset))
+	for i, it := range cset {
+		ids[i] = it.ID
+	}
+	want := e.Compare(nodes, ids)
+	got, err := e.DoCompare(context.Background(), nodes, ids, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("DoCompare differs from Compare")
+	}
+	// TopK is honored as a payload cut on the ranked characteristics.
+	if len(want) >= 2 {
+		cut, err := e.DoCompare(context.Background(), nodes, ids, Query{TopK: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cut) != 1 || !reflect.DeepEqual(cut[0], want[0]) {
+			t.Fatalf("DoCompare TopK=1 returned %d records (head mismatch %v)", len(cut), len(cut) > 0)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.DoCompare(ctx, nodes, ids, Query{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DoCompare: %v", err)
+	}
+}
+
+// TestLoadGraphFileSniffsSnapshot: a snapshot without the .kgsnap
+// extension loads via magic-byte sniffing instead of failing as a triple
+// parse, and non-snapshot files still parse as triples.
+func TestLoadGraphFileSniffsSnapshot(t *testing.T) {
+	g := buildLeaders()
+	path := filepath.Join(t.TempDir(), "renamed-snapshot.bin")
+	if err := SaveSnapshotFile(g, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraphFile(path)
+	if err != nil {
+		t.Fatalf("renamed snapshot failed to load: %v", err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sniffed snapshot mismatch: %s vs %s", got.Stats(), g.Stats())
+	}
+	// A triple file starting with ordinary text keeps parsing as triples.
+	tsv := filepath.Join(t.TempDir(), "facts.bin")
+	if err := writeFile(tsv, "a\tp\tb\nb\tp\tc\n"); err != nil {
+		t.Fatal(err)
+	}
+	tg, err := LoadGraphFile(tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumNodes() != 3 {
+		t.Fatalf("triple fallback NumNodes = %d", tg.NumNodes())
+	}
+	// A tiny file shorter than the magic is a (failing) triple parse, not
+	// a sniff panic.
+	tiny := filepath.Join(t.TempDir(), "tiny.bin")
+	if err := writeFile(tiny, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGraphFile(tiny); err == nil {
+		t.Fatal("malformed tiny file should error")
+	}
+}
+
+// TestCancelledRunStoresNoPartialSeedVectors: a request aborted mid-PPR
+// leaves the seed-vector layer empty — nothing partial was stored.
+func TestCancelledRunStoresNoPartialSeedVectors(t *testing.T) {
+	g := buildLeaders()
+	opt := Options{ContextSize: 6, Selector: SelectorRandomWalk, Seed: 3, TestSamples: 500}
+	e := NewEngine(g, opt)
+	nodes, err := e.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut after the very first probe: inside the PPR solve, before any
+	// seed vector completes.
+	if _, err := e.Do(newCountdownCtx(1), Query{Nodes: nodes}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := e.CacheStats(); st.Layers[qcache.LayerSeed].Bytes != 0 {
+		t.Fatalf("seed layer holds %d bytes after an aborted solve", st.Layers[qcache.LayerSeed].Bytes)
+	}
+}

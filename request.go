@@ -1,0 +1,237 @@
+// Request-scoped serving API: Query, Outcome, and the Do family.
+//
+// An Engine is configured once (Options) and then serves many
+// individually-tuned requests: each Query carries its nodes plus
+// per-request overrides, each call takes a context.Context, and
+// cancellation propagates through every layer — the PageRank solve checks
+// it between sweeps, the comparison stage between label tests — so a
+// dropped request stops burning CPU mid-solve. DoStream turns a batch
+// into a stream of Outcomes, releasing each query's result the moment it
+// completes instead of barriering the whole batch.
+package notable
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+)
+
+// Query is one request-scoped search: the query nodes plus per-request
+// overrides of the engine's Options. Zero-valued override fields inherit
+// the engine's configuration, so Query{Nodes: q} reproduces an
+// engine-default Search exactly.
+type Query struct {
+	// Nodes is the query entity set Q. Required: an empty query yields
+	// ErrEmptyQuery.
+	Nodes []NodeID
+
+	// ContextSize overrides Options.ContextSize when > 0.
+	ContextSize int
+	// Selector overrides Options.Selector when non-empty (one of the
+	// Selector* constants).
+	Selector string
+	// Alpha overrides Options.Alpha when > 0.
+	Alpha float64
+	// TopK, when > 0, truncates Result.Characteristics to the TopK
+	// highest-ranked records after testing (the full context is still
+	// selected and every label still tested — TopK only bounds the
+	// response payload). 0 keeps every tested label, like Search.
+	TopK int
+	// Policy overrides Options.Policy when non-empty (PolicyStrict or
+	// PolicyPooled).
+	Policy string
+	// TestSamples overrides Options.TestSamples when > 0.
+	TestSamples int
+	// Parallelism overrides Options.Parallelism when > 0.
+	Parallelism int
+}
+
+// apply returns o with q's non-zero overrides folded in.
+func (o Options) apply(q Query) Options {
+	if q.ContextSize > 0 {
+		o.ContextSize = q.ContextSize
+	}
+	if q.Selector != "" {
+		o.Selector = q.Selector
+	}
+	if q.Alpha > 0 {
+		o.Alpha = q.Alpha
+	}
+	if q.Policy != "" {
+		o.Policy = q.Policy
+	}
+	if q.TestSamples > 0 {
+		o.TestSamples = q.TestSamples
+	}
+	if q.Parallelism > 0 {
+		o.Parallelism = q.Parallelism
+	}
+	return o
+}
+
+// trim applies q's TopK cut to a finished result.
+func (q Query) trim(res Result) Result {
+	if q.TopK > 0 && len(res.Characteristics) > q.TopK {
+		res.Characteristics = res.Characteristics[:q.TopK:q.TopK]
+	}
+	return res
+}
+
+// Outcome is one query's entry in a DoStream: the index of the query in
+// the request slice, and its result or error. Exactly one of Result/Err
+// is meaningful: Err is nil for a completed search, ctx.Err() for a
+// query abandoned by cancellation, or a validation error (ErrEmptyQuery)
+// for a malformed query.
+type Outcome struct {
+	// Index locates the query in the DoStream request slice.
+	Index int
+	// Result is the completed search, valid when Err is nil.
+	Result Result
+	// Err is nil on success.
+	Err error
+}
+
+// Do serves one request: the full pipeline (context selection +
+// distribution comparison) for q.Nodes under q's overrides. A cancelled
+// ctx aborts the search within one PageRank sweep or one label test and
+// returns ctx.Err(); the engine's caches are never corrupted by an
+// abandoned request (only complete vectors and records are stored).
+// For equal engine options and overrides, Do's result is bitwise
+// identical to the deprecated Search.
+func (e *Engine) Do(ctx context.Context, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(q.Nodes) == 0 {
+		return Result{}, ErrEmptyQuery
+	}
+	res, err := core.FindNC(ctx, e.g, q.Nodes, e.coreOptionsFor(e.opt.apply(q)))
+	if err != nil {
+		return Result{}, err
+	}
+	return q.trim(res), nil
+}
+
+// DoBatch serves many requests in one batched pass and returns one
+// Result per query, in order. Queries with identical effective options
+// (engine options + overrides; TopK excluded, it is a per-query
+// post-cut) share one deduplicated cold pass — per-query cache consults
+// first, one multi-source PageRank solve for the misses, comparison
+// stages fanned through the shared executor — and results are bitwise
+// identical to calling Do per query for every batch size, override mix,
+// and Parallelism. Batches whose overrides differ are grouped by
+// effective options; deduplication applies within each group.
+//
+// Validation is up-front: any empty query fails the whole batch with an
+// error wrapping ErrEmptyQuery and naming the index. A cancelled ctx
+// stops every group within one sweep or label test and returns ctx.Err().
+func (e *Engine) DoBatch(ctx context.Context, qs []Query) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	groups, err := e.groupRequests(qs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(qs))
+	for _, grp := range groups {
+		rs, err := core.FindNCBatch(ctx, e.g, grp.nodes, grp.copt)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range grp.idx {
+			results[i] = qs[i].trim(rs[j])
+		}
+	}
+	return results, nil
+}
+
+// DoStream serves many requests as a stream: it returns immediately with
+// a channel carrying exactly one Outcome per query — in completion
+// order, not index order — and closes it when the batch is done. Like
+// DoBatch it deduplicates seeds across queries with identical effective
+// options, but each query is released to its comparison stage the moment
+// its PageRank sum folds and its Outcome is emitted as soon as the
+// comparison finishes: the first result of an overlapping batch arrives
+// in a fraction of the batch's total wall-clock, with every Result
+// bitwise identical to a solo Do call.
+//
+// Cancelling ctx stops all workers within one PageRank sweep or one
+// label test; queries not yet completed are flushed with Err = ctx.Err()
+// and the channel closes. The channel is buffered for the whole batch,
+// so a consumer that stops receiving (with or without cancelling) never
+// blocks or leaks the workers. Malformed queries (empty node sets) yield
+// an Outcome with Err wrapping ErrEmptyQuery instead of failing the
+// batch.
+func (e *Engine) DoStream(ctx context.Context, qs []Query) <-chan Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan Outcome, len(qs))
+	valid := make([]Query, 0, len(qs))
+	origIdx := make([]int, 0, len(qs)) // maps valid-slice position → qs index
+	for i, q := range qs {
+		if len(q.Nodes) == 0 {
+			ch <- Outcome{Index: i, Err: fmt.Errorf("%w (batch index %d)", ErrEmptyQuery, i)}
+			continue
+		}
+		valid = append(valid, q)
+		origIdx = append(origIdx, i)
+	}
+	groups, _ := e.groupRequests(valid) // already validated: err impossible
+	go func() {
+		defer close(ch)
+		for _, grp := range groups {
+			grp := grp
+			core.FindNCStream(ctx, e.g, grp.nodes, grp.copt, func(j int, res Result, err error) {
+				i := origIdx[grp.idx[j]]
+				if err == nil {
+					res = qs[i].trim(res)
+				}
+				ch <- Outcome{Index: i, Result: res, Err: err}
+				// Yield so a consumer blocked on the channel observes the
+				// outcome now: on a saturated (or single-P) runtime the
+				// pipeline would otherwise keep every core and delay
+				// delivery of finished results until the batch drains —
+				// the barrier the stream exists to break.
+				runtime.Gosched()
+			})
+		}
+	}()
+	return ch
+}
+
+// requestGroup is one DoBatch/DoStream partition: the indices (into the
+// validated query slice) sharing one set of effective options, their node
+// sets, and the translated core options.
+type requestGroup struct {
+	idx   []int
+	nodes [][]NodeID
+	copt  core.Options
+}
+
+// groupRequests validates qs and partitions it by effective options
+// (first-appearance order, stable within a group) so each partition can
+// share one deduplicated batch pass. TopK never splits a group — it is
+// applied per query after the fact.
+func (e *Engine) groupRequests(qs []Query) ([]*requestGroup, error) {
+	byOpt := make(map[Options]*requestGroup)
+	var groups []*requestGroup
+	for i, q := range qs {
+		if len(q.Nodes) == 0 {
+			return nil, fmt.Errorf("%w (batch index %d)", ErrEmptyQuery, i)
+		}
+		eff := e.opt.apply(q)
+		grp := byOpt[eff]
+		if grp == nil {
+			grp = &requestGroup{copt: e.coreOptionsFor(eff)}
+			byOpt[eff] = grp
+			groups = append(groups, grp)
+		}
+		grp.idx = append(grp.idx, i)
+		grp.nodes = append(grp.nodes, q.Nodes)
+	}
+	return groups, nil
+}
