@@ -1,0 +1,111 @@
+// Command ncserved serves notable-characteristics search over HTTP.
+//
+//	ncserved -dataset yago -addr :8080
+//	ncserved -graph facts.kgsnap -addr :8080 -drain 15s -max-inflight 64
+//
+// Endpoints (see docs/serving.md for bodies and curl examples):
+//
+//	POST /v1/search   one query; degraded 200 under deadline by default
+//	POST /v1/batch    many queries, one deduplicated pass
+//	POST /v1/stream   NDJSON, one line per outcome in completion order
+//	GET  /healthz     200 serving / 503 draining
+//	GET  /statsz      cache layers, executor load, in-flight gauge
+//	     /debug/pprof with -pprof
+//
+// SIGTERM or SIGINT begins a graceful drain: the listener closes,
+// /healthz flips to draining, in-flight requests get -drain to finish,
+// and stragglers are cancelled through their request context. A second
+// signal hard-kills via the default handler.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		graphPath   = flag.String("graph", "", "triple file (.tsv/.nt) or snapshot (.kgsnap) to load")
+		dataset     = flag.String("dataset", "", "built-in dataset: yago | lmdb | authors | products | figure1")
+		k           = flag.Int("k", 100, "default context size |C|")
+		selector    = flag.String("selector", "contextrw", "default context selector: contextrw | randomwalk | simrank | jaccard")
+		walks       = flag.Int("walks", 200000, "PathMining walk budget")
+		alpha       = flag.Float64("alpha", 0.05, "default significance level")
+		seed        = flag.Int64("seed", 1, "random seed")
+		parallelism = flag.Int("par", 0, "default per-request parallelism (0 = library default)")
+		cacheShards = flag.Int("cache-shards", 8, "query-cache shards for concurrent traffic")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain deadline after SIGTERM")
+		reqTimeout  = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+		maxTimeout  = flag.Duration("max-timeout", time.Minute, "cap on client-requested timeouts")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxInflight = flag.Int("max-inflight", 0, "admission gate: concurrent engine requests before shedding (0 = 4x executor workers)")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *dataset, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncserved:", err)
+		os.Exit(1)
+	}
+	fmt.Println("graph:", g.Stats())
+
+	engine := notable.NewEngine(g, notable.Options{
+		ContextSize: *k,
+		Selector:    *selector,
+		Walks:       *walks,
+		Alpha:       *alpha,
+		Seed:        *seed,
+		Parallelism: *parallelism,
+		CacheShards: *cacheShards,
+	})
+	srv := server.New(engine, server.Config{
+		Addr:           *addr,
+		DrainTimeout:   *drain,
+		RequestTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInflight,
+		EnablePprof:    *pprofOn,
+	})
+
+	// First signal drains; a second falls through to the default handler
+	// (hard kill) because NotifyContext unregisters on cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ncserved:", err)
+		os.Exit(1)
+	}
+}
+
+// loadGraph mirrors ncsearch: explicit file first, then a built-in
+// generator.
+func loadGraph(path, dataset string, seed int64) (*notable.Graph, error) {
+	switch {
+	case path != "":
+		return notable.LoadGraphFile(path)
+	case dataset == "yago" || dataset == "":
+		return gen.YAGOLike(gen.YAGOConfig{Seed: seed}).Graph, nil
+	case dataset == "lmdb":
+		return gen.LinkedMDBLike(gen.LMDBConfig{Seed: seed}).Graph, nil
+	case dataset == "authors":
+		return gen.Authors(seed).Graph, nil
+	case dataset == "products":
+		return gen.Products(seed).Graph, nil
+	case dataset == "figure1":
+		return gen.Figure1().Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -105,6 +106,18 @@ type Options struct {
 	Parallelism int
 	// Seed drives every randomized component.
 	Seed int64
+	// Partial opts FindNC and CompareSets into degraded results under
+	// cancellation: when ctx is cut mid-comparison the records completed so
+	// far are returned — sorted, each bitwise identical to its slot in the
+	// uncut run — alongside a *PartialError instead of being discarded with
+	// a bare ctx.Err(). The tested set is always a prefix of the
+	// deterministic label enumeration order (workers drain a sequential
+	// claim counter and finish every claimed label), so a degraded response
+	// is a prefix-consistent subset of the full one. Cancellation before or
+	// during context selection still fails whole — there is no context to
+	// be partial about. Batch entry points ignore Partial: a cancelled
+	// batch is abandoned outright.
+	Partial bool
 	// TestCache, when non-nil, memoizes per-label Characteristic records
 	// across CompareSets calls, keyed on (label, query multiset, ranked
 	// context, test options, policy). A warm hit skips distribution
@@ -175,9 +188,33 @@ func (r Result) ByName(name string) (Characteristic, bool) {
 	return Characteristic{}, false
 }
 
+// PartialError reports a comparison stage cut short by cancellation while
+// Options.Partial was set. The call that returned it also returned the
+// characteristics completed before the cut — a prefix-consistent subset of
+// what the uncut run would produce. Unwrap yields the ctx error
+// (context.DeadlineExceeded or context.Canceled), so errors.Is still
+// matches the cause.
+type PartialError struct {
+	// Cause is the ctx error that cut the stage short.
+	Cause error
+	// Tested and Total count the labels tested before the cut and the
+	// labels the full stage would have tested.
+	Tested, Total int
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("core: comparison cut short (%d/%d labels tested): %v", e.Tested, e.Total, e.Cause)
+}
+
+// Unwrap exposes the underlying ctx error to errors.Is.
+func (e *PartialError) Unwrap() error { return e.Cause }
+
 // FindNC runs the full pipeline on query against g. Cancellation is
 // request-scoped: once ctx is done, FindNC stops within one PageRank
-// sweep or one label test and returns ctx.Err().
+// sweep or one label test and returns ctx.Err() — or, under
+// Options.Partial, the labels tested so far alongside a *PartialError
+// when the cut landed in the comparison stage.
 func FindNC(ctx context.Context, g *kg.Graph, query []kg.NodeID, opt Options) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -189,11 +226,12 @@ func FindNC(ctx context.Context, g *kg.Graph, query []kg.NodeID, opt Options) (R
 	}
 	res := Result{Query: query, Context: cset}
 	chars, err := CompareSets(ctx, g, query, res.ContextIDs(), opt)
-	if err != nil {
+	var pe *PartialError
+	if err != nil && !errors.As(err, &pe) {
 		return Result{}, err
 	}
 	res.Characteristics = chars
-	return res, nil
+	return res, err
 }
 
 // FindNCBatch runs FindNC for every query in one batched pass. Context
@@ -291,6 +329,12 @@ func CompareSets(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt 
 		keyBase = testKeyBase(query, cset, opt)
 	}
 	out := make([]Characteristic, len(labels))
+	// Completion tracking costs an allocation, so only degradable calls
+	// pay for it; without it a cut simply discards out.
+	var done []bool
+	if opt.Partial {
+		done = make([]bool, len(labels))
+	}
 	var next atomic.Int64
 	run := func() {
 		// Each worker claims the next untested label until none remain,
@@ -308,6 +352,13 @@ func CompareSets(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt 
 				testLabelHook()
 			}
 			out[i] = testLabelCached(g, labels[i], query, cset, opt, keyBase, &s)
+			// Claimed slots are always finished (workers abort only between
+			// claims), so the done set is a prefix of the claim order. Each
+			// slot has exactly one writer and is read only after the pool's
+			// Wait, so the plain bool is race-free.
+			if done != nil {
+				done[i] = true
+			}
 		}
 	}
 	workers := opt.Parallelism
@@ -319,9 +370,27 @@ func CompareSets(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt 
 	// caller, never past the Parallelism bound.
 	exec.RunWorkersCtx(ctx, workers, run)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		if !opt.Partial {
+			return nil, err
+		}
+		partial := make([]Characteristic, 0, len(labels))
+		for i := range out {
+			if done[i] {
+				partial = append(partial, out[i])
+			}
+		}
+		sortCharacteristics(partial)
+		return partial, &PartialError{Cause: err, Tested: len(partial), Total: len(labels)}
 	}
 
+	sortCharacteristics(out)
+	return out, nil
+}
+
+// sortCharacteristics orders records by descending score, then ascending
+// significance probability, then name — the report order of every entry
+// point, full or degraded.
+func sortCharacteristics(out []Characteristic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Score != b.Score {
@@ -333,7 +402,6 @@ func CompareSets(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt 
 		}
 		return a.Name < b.Name
 	})
-	return out, nil
 }
 
 func minP(c Characteristic) float64 {

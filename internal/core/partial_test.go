@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// partialLabels replicates CompareSets' deterministic label enumeration
+// (LabelsOf over query ∪ cset, inverse labels dropped per opt) so tests
+// can check prefix consistency of a degraded run.
+func partialLabels(g *kg.Graph, query, cset []kg.NodeID, skipInverse bool) []kg.LabelID {
+	both := append(append([]kg.NodeID(nil), query...), cset...)
+	labels := g.LabelsOf(both)
+	if skipInverse {
+		kept := labels[:0]
+		for _, l := range labels {
+			if !g.IsInverse(l) {
+				kept = append(kept, l)
+			}
+		}
+		labels = kept
+	}
+	return labels
+}
+
+// TestCompareSetsPartial: cancelling a Partial comparison returns the
+// labels tested so far — each record bitwise identical to its slot in the
+// uncut run, the tested set a prefix of the enumeration order — alongside
+// a *PartialError that unwraps to the ctx error.
+func TestCompareSetsPartial(t *testing.T) {
+	g, query := leadersGraph()
+	cset := peerContext(g)
+	opt := Options{Seed: 7, Partial: true}
+	full := compareSets(t, g, query, cset, Options{Seed: 7})
+	byLabel := make(map[kg.LabelID]Characteristic, len(full))
+	for _, c := range full {
+		byLabel[c.Label] = c
+	}
+	labels := partialLabels(g, query, cset, false)
+	if len(labels) < 3 {
+		t.Fatalf("test graph too small: %d labels", len(labels))
+	}
+
+	for _, par := range []int{1, 4} {
+		const cutAfter = 2
+		ctx, cancel := context.WithCancel(context.Background())
+		var tested atomic.Int64
+		testLabelHook = func() {
+			if tested.Add(1) == cutAfter {
+				cancel()
+			}
+		}
+		o := opt
+		o.Parallelism = par
+		partial, err := CompareSets(ctx, g, query, cset, o)
+		testLabelHook = nil
+		cancel()
+
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("par=%d: err = %v, want *PartialError", par, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: PartialError does not unwrap to context.Canceled: %v", par, err)
+		}
+		if pe.Tested != len(partial) || pe.Total != len(labels) {
+			t.Fatalf("par=%d: PartialError counts %d/%d, want %d/%d",
+				par, pe.Tested, pe.Total, len(partial), len(labels))
+		}
+		if len(partial) == 0 || len(partial) >= len(labels) {
+			t.Fatalf("par=%d: %d partial records for %d labels, want a proper non-empty subset",
+				par, len(partial), len(labels))
+		}
+		// The tested set must be exactly the first len(partial) labels of
+		// the enumeration order, and each record identical to the full
+		// run's record for that label.
+		seen := make(map[kg.LabelID]bool, len(partial))
+		for _, c := range partial {
+			seen[c.Label] = true
+			want, ok := byLabel[c.Label]
+			if !ok {
+				t.Fatalf("par=%d: partial run tested label %q absent from the full run", par, c.Name)
+			}
+			if !reflect.DeepEqual(c, want) {
+				t.Fatalf("par=%d: degraded record for %q differs from the uncut run", par, c.Name)
+			}
+		}
+		for i, l := range labels[:len(partial)] {
+			if !seen[l] {
+				t.Fatalf("par=%d: tested set is not a prefix: enumeration slot %d (label %d) missing", par, i, l)
+			}
+		}
+	}
+}
+
+// TestFindNCPartial: the full pipeline surfaces a comparison-stage cut as
+// a Result carrying the selected context plus the tested prefix and a
+// *PartialError; without Options.Partial the same cut stays all-or-nothing.
+func TestFindNCPartial(t *testing.T) {
+	g, query := leadersGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var tested atomic.Int64
+	testLabelHook = func() {
+		if tested.Add(1) == 1 {
+			cancel()
+		}
+	}
+	defer func() { testLabelHook = nil }()
+	res, err := FindNC(ctx, g, query, Options{Seed: 7, ContextSize: 10, Partial: true, Parallelism: 1})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(res.Context) == 0 {
+		t.Fatal("degraded Result lost its context")
+	}
+	if len(res.Characteristics) != pe.Tested {
+		t.Fatalf("%d characteristics but Tested=%d", len(res.Characteristics), pe.Tested)
+	}
+
+	// Same cut without Partial: bare ctx error, no result.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	tested.Store(0)
+	testLabelHook = func() {
+		if tested.Add(1) == 1 {
+			cancel2()
+		}
+	}
+	res2, err2 := FindNC(ctx2, g, query, Options{Seed: 7, ContextSize: 10, Parallelism: 1})
+	if !errors.Is(err2, context.Canceled) || errors.As(err2, &pe) {
+		t.Fatalf("non-Partial err = %v, want bare context.Canceled", err2)
+	}
+	if len(res2.Characteristics) != 0 || len(res2.Context) != 0 {
+		t.Fatal("non-Partial cancellation returned a result")
+	}
+}

@@ -34,12 +34,20 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a fixed set of worker goroutines accepting direct task
 // handoffs. The zero value is not usable; construct with NewPool.
 type Pool struct {
-	tasks chan func()
+	tasks   chan func()
+	workers int
+	// busy gauges tasks currently running on pool workers; inline counts
+	// (cumulatively) tasks a Group ran on the submitter because no worker
+	// was idle — the pool's saturation signal, since direct handoff has no
+	// queue whose depth could grow.
+	busy   atomic.Int64
+	inline atomic.Int64
 }
 
 // NewPool starts a pool of exactly workers goroutines (minimum 1). The
@@ -49,7 +57,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{tasks: make(chan func())}
+	p := &Pool{tasks: make(chan func()), workers: workers}
 	for i := 0; i < workers; i++ {
 		go p.worker()
 	}
@@ -58,7 +66,34 @@ func NewPool(workers int) *Pool {
 
 func (p *Pool) worker() {
 	for task := range p.tasks {
+		p.busy.Add(1)
 		task()
+		p.busy.Add(-1)
+	}
+}
+
+// PoolStats is a point-in-time snapshot of a pool's load counters.
+type PoolStats struct {
+	// Workers is the fixed goroutine count the pool was built with.
+	Workers int
+	// Busy is the number of tasks running on pool workers right now — the
+	// executor's in-flight gauge. Busy/Workers is the pool's utilization.
+	Busy int64
+	// InlineRuns counts, cumulatively, Group tasks that ran inline on
+	// their submitter because every worker was busy. Direct handoff means
+	// the pool has no queue — a growing InlineRuns is the queue-pressure
+	// signal: offered load exceeding Workers.
+	InlineRuns int64
+}
+
+// Stats returns the pool's current load counters. Safe for concurrent use;
+// the fields are sampled independently (Busy can drift by a task between
+// reads), which is fine for admission gates and stats endpoints.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:    p.workers,
+		Busy:       p.busy.Load(),
+		InlineRuns: p.inline.Load(),
 	}
 }
 
@@ -133,6 +168,7 @@ func (g *Group) Go(task func()) {
 		task()
 	}
 	if !g.pool.TrySubmit(wrapped) {
+		g.pool.inline.Add(1)
 		wrapped()
 	}
 }

@@ -1,0 +1,96 @@
+package ntriples
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the parser and checks its two
+// contracts: it never panics, and every failure surfaces as a typed
+// *ParseError (or the scanner's own too-long error) — never a raw slice
+// fault or an unclassified error. Statements that survive parsing and are
+// representable in TSV must round-trip through the Writer byte-for-byte.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		// TSV, the YAGO dump shape.
+		"Angela_Merkel\tstudied\tPhysics",
+		"a\tb\tc\nd\te\tf\n",
+		"s\tp\to\textra\tfields",
+		"a\t\tb",          // empty field
+		"only\ttwo",       // short row
+		" padded \t p \t o ",
+		// N-Triples subset.
+		"<s> <p> <o> .",
+		"<s> <p> \"a literal\" .",
+		"<s> <p> \"esc\\t\\n\\\"aped\" .",
+		"bare words here",
+		"<s> <p> <o> trailing",
+		"<unterminated <p> <o> .",
+		"<s> <p> \"unterminated",
+		"<s> <p>",
+		"<> <> <> .",
+		"\"\" \"\" \"\"",
+		// Comments, blanks, separators.
+		"# comment line\n\n   \n<s> <p> <o> .",
+		"\x00\x01\x02",
+		"é\t漢字\t🙂",
+		strings.Repeat("x", 4096),
+		"<" + strings.Repeat("y", 1024) + "> <p> <o>",
+		"a\tb\tc\r\nd\te\tf\r\n",
+		"\\",
+		"\"\\",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			st, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				var pe *ParseError
+				if !errors.As(err, &pe) && !errors.Is(err, bufio.ErrTooLong) {
+					t.Fatalf("untyped parse failure %T: %v", err, err)
+				}
+				return
+			}
+			if !tsvSafe(st) {
+				continue
+			}
+			var buf bytes.Buffer
+			w := NewWriter(&buf, FormatTSV)
+			if err := w.Write(st); err != nil {
+				t.Fatalf("writing %+v: %v", st, err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			back, err := NewReader(&buf).ReadAll()
+			if err != nil {
+				t.Fatalf("re-reading %q: %v", buf.String(), err)
+			}
+			if len(back) != 1 || back[0] != st {
+				t.Fatalf("round trip changed %+v into %+v", st, back)
+			}
+		}
+	})
+}
+
+// tsvSafe reports whether st survives a TSV round trip unchanged: no term
+// may be empty, carry TSV structure (tabs, newlines), start a comment, or
+// hold padding the reader would trim.
+func tsvSafe(st Statement) bool {
+	for _, term := range []string{st.S, st.P, st.O} {
+		if term == "" || strings.ContainsAny(term, "\t\n\r") || term != strings.TrimSpace(term) {
+			return false
+		}
+	}
+	return !strings.HasPrefix(st.S, "#")
+}

@@ -1,0 +1,287 @@
+// The three engine endpoints and their wire types. The JSON surface
+// deliberately exposes the request-scoped library API one-to-one: a wire
+// query is a notable.Query plus name resolution, a response is a
+// notable.Result flattened to what clients render (names and scores, not
+// internal distributions).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// wireQuery is one query as clients send it. Entities (names, resolved
+// fuzzily like ncsearch) and Nodes (raw graph ids) may be mixed; at least
+// one of the two must be non-empty. The override fields mirror
+// notable.Query: zero means "inherit the engine's option".
+type wireQuery struct {
+	Entities    []string         `json:"entities,omitempty"`
+	Nodes       []notable.NodeID `json:"nodes,omitempty"`
+	ContextSize int              `json:"context_size,omitempty"`
+	Selector    string           `json:"selector,omitempty"`
+	Alpha       float64          `json:"alpha,omitempty"`
+	TopK        int              `json:"top_k,omitempty"`
+	Policy      string           `json:"policy,omitempty"`
+	TestSamples int              `json:"test_samples,omitempty"`
+	Parallelism int              `json:"parallelism,omitempty"`
+	// Degrade opts into deadline-degraded mode. Omitted means true: a
+	// serving deadline should degrade a response, not destroy it. Send
+	// false to get a 504 instead of a partial 200.
+	Degrade *bool `json:"degrade,omitempty"`
+}
+
+// searchRequest is the /v1/search body: one wireQuery plus the request
+// deadline.
+type searchRequest struct {
+	wireQuery
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// batchRequest is the /v1/batch and /v1/stream body. The timeout spans
+// the whole batch.
+type batchRequest struct {
+	Queries   []wireQuery `json:"queries"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// wireContextItem is one scored context node.
+type wireContextItem struct {
+	ID    uint32  `json:"id"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// wireCharacteristic is one tested label, flattened for rendering.
+type wireCharacteristic struct {
+	Label     string  `json:"label"`
+	Score     float64 `json:"score"`
+	Kind      string  `json:"kind"`
+	Notable   bool    `json:"notable"`
+	InstP     float64 `json:"inst_p"`
+	CardP     float64 `json:"card_p"`
+	InstScore float64 `json:"inst_score"`
+	CardScore float64 `json:"card_score"`
+}
+
+// searchResponse is one completed (or degraded) search on the wire.
+type searchResponse struct {
+	RequestID string `json:"request_id,omitempty"`
+	// Degraded marks a deadline-cut result: Characteristics holds the
+	// labels tested before the cut (Tested of Total), a prefix-consistent
+	// subset of the full report.
+	Degraded        bool                 `json:"degraded"`
+	Tested          int                  `json:"tested"`
+	Total           int                  `json:"total"`
+	ElapsedMS       float64              `json:"elapsed_ms"`
+	Query           []string             `json:"query"`
+	Context         []wireContextItem    `json:"context"`
+	Characteristics []wireCharacteristic `json:"characteristics"`
+}
+
+// batchResponse is the /v1/batch answer: one entry per query, in order.
+type batchResponse struct {
+	RequestID string           `json:"request_id,omitempty"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Results   []searchResponse `json:"results"`
+}
+
+// streamOutcome is one NDJSON line of /v1/stream: the query's index in
+// the request, then either an error or its result.
+type streamOutcome struct {
+	Index  int             `json:"index"`
+	Error  string          `json:"error,omitempty"`
+	Result *searchResponse `json:"result,omitempty"`
+}
+
+// toQuery resolves a wireQuery into a notable.Query: entity names through
+// the engine's fuzzy resolver, raw node ids validated against the graph.
+func (s *Server) toQuery(wq wireQuery) (notable.Query, error) {
+	nodes := make([]notable.NodeID, 0, len(wq.Nodes)+len(wq.Entities))
+	numNodes := s.eng.Graph().NumNodes()
+	for _, id := range wq.Nodes {
+		if int(id) >= numNodes {
+			return notable.Query{}, badRequestf("node id %d out of range (graph has %d nodes)", id, numNodes)
+		}
+		nodes = append(nodes, id)
+	}
+	if len(wq.Entities) > 0 {
+		resolved, err := s.eng.Resolve(wq.Entities...)
+		if err != nil {
+			return notable.Query{}, err
+		}
+		nodes = append(nodes, resolved...)
+	}
+	degrade := wq.Degrade == nil || *wq.Degrade
+	return notable.Query{
+		Nodes:       nodes,
+		ContextSize: wq.ContextSize,
+		Selector:    wq.Selector,
+		Alpha:       wq.Alpha,
+		TopK:        wq.TopK,
+		Policy:      wq.Policy,
+		TestSamples: wq.TestSamples,
+		Parallelism: wq.Parallelism,
+		Degrade:     degrade,
+	}, nil
+}
+
+// toResponse flattens a result for the wire. de is nil for a full result.
+func (s *Server) toResponse(res notable.Result, de *notable.DegradedError, elapsed time.Duration, rid string) searchResponse {
+	g := s.eng.Graph()
+	out := searchResponse{
+		RequestID: rid,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Tested:    len(res.Characteristics),
+		Total:     len(res.Characteristics),
+	}
+	if de != nil {
+		out.Degraded = true
+		out.Tested = de.Tested
+		out.Total = de.Total
+	}
+	out.Query = make([]string, len(res.Query))
+	for i, id := range res.Query {
+		out.Query[i] = g.NodeName(id)
+	}
+	out.Context = make([]wireContextItem, len(res.Context))
+	for i, it := range res.Context {
+		out.Context[i] = wireContextItem{ID: it.ID, Name: g.NodeName(notable.NodeID(it.ID)), Score: it.Score}
+	}
+	out.Characteristics = make([]wireCharacteristic, len(res.Characteristics))
+	for i, c := range res.Characteristics {
+		out.Characteristics[i] = wireCharacteristic{
+			Label:     c.Name,
+			Score:     c.Score,
+			Kind:      c.Kind.String(),
+			Notable:   c.Notable(),
+			InstP:     c.InstP,
+			CardP:     c.CardP,
+			InstScore: c.InstScore,
+			CardScore: c.CardScore,
+		}
+	}
+	return out
+}
+
+// handleSearch serves POST /v1/search: one query under one deadline,
+// degraded by default rather than erroring when the deadline lands in the
+// comparison stage.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	q, err := s.toQuery(req.wireQuery)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+	start := time.Now()
+	res, err := s.eng.Do(ctx, q)
+	var de *notable.DegradedError
+	if err != nil && !errors.As(err, &de) {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toResponse(res, de, time.Since(start), requestIDFrom(r.Context())))
+}
+
+// handleBatch serves POST /v1/batch: the whole batch in one deduplicated
+// pass, all-or-nothing (use /v1/stream for per-query failure isolation).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, r, badRequestf("empty batch"))
+		return
+	}
+	qs := make([]notable.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := s.toQuery(wq)
+		if err != nil {
+			s.writeError(w, r, badRequestf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+	start := time.Now()
+	results, err := s.eng.DoBatch(ctx, qs)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	elapsed := time.Since(start)
+	rid := requestIDFrom(r.Context())
+	resp := batchResponse{RequestID: rid, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	resp.Results = make([]searchResponse, len(results))
+	for i, res := range results {
+		resp.Results[i] = s.toResponse(res, nil, elapsed, "")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStream serves POST /v1/stream: NDJSON, one streamOutcome per
+// query in completion order, flushed as each lands. A client that
+// disconnects cancels the request ctx; the engine stops within one sweep
+// or label test and the remaining outcomes are dropped with the
+// connection.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, r, badRequestf("empty batch"))
+		return
+	}
+	qs := make([]notable.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := s.toQuery(wq)
+		if err != nil {
+			s.writeError(w, r, badRequestf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // Encode appends the NDJSON newline
+	start := time.Now()
+	for o := range s.eng.DoStream(ctx, qs) {
+		line := streamOutcome{Index: o.Index}
+		if o.Err != nil {
+			line.Error = o.Err.Error()
+		} else {
+			resp := s.toResponse(o.Result, nil, time.Since(start), "")
+			line.Result = &resp
+		}
+		if err := enc.Encode(line); err != nil {
+			// The client is gone. Cancel the batch — the engine stops within
+			// one sweep or label test — and walk away: DoStream's channel is
+			// fully buffered, so an abandoned consumer leaks nothing.
+			cancel()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package server is the hardened HTTP serving layer over a
+// notable.Engine: the process boundary where the library's request-scoped
+// guarantees (PR 5's ctx cancellation through every pipeline layer) meet
+// slow clients, deploy-time restarts, traffic spikes, and buggy handlers.
+// Robustness is the package's contract, not a feature flag:
+//
+//   - Graceful drain. Run serves until its ctx is cancelled (the caller
+//     wires SIGTERM/SIGINT), then stops accepting connections, flips
+//     /healthz to draining (load balancers stop routing), and lets
+//     in-flight requests finish under Config.DrainTimeout. Stragglers past
+//     the deadline are cancelled through their request ctx — the engine
+//     aborts within one PageRank sweep or label test, and because
+//     cancellation never stores partial vectors or records, the process
+//     exits with caches uncorrupted (not that it matters then) and, more
+//     importantly, without wedging on a stuck request.
+//
+//   - Deadline-degraded mode. Every request runs under a per-request
+//     timeout propagated into ctx. A search that cannot finish in time
+//     returns HTTP 200 with the labels tested so far and "degraded": true
+//     (plus tested/total counts) instead of a 504 — an interactive client
+//     gets a usable prefix of the report rather than nothing. Clients opt
+//     out with "degrade": false to get the 504.
+//
+//   - Panic isolation. A panicking handler is recovered, logged with its
+//     stack, and answered with a 500; concurrent requests and the process
+//     are unaffected.
+//
+//   - Load shedding. An admission gate sized off the shared internal/exec
+//     executor fast-fails with 503 + Retry-After once Config.MaxInFlight
+//     requests are in flight, so overload degrades throughput instead of
+//     latency: admitted requests keep their p50, excess ones get an
+//     immediate, cheap answer.
+//
+// Endpoints: POST /v1/search (one query), POST /v1/batch (many, one
+// deduplicated pass), POST /v1/stream (NDJSON, one line per outcome in
+// completion order), GET /healthz (flips 503 while draining), GET /statsz
+// (cache layers, executor load, in-flight gauge), and net/http/pprof under
+// /debug/pprof/ when enabled.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/exec"
+	"repro/internal/qcache"
+)
+
+// Config tunes the serving layer. The zero value serves on :8080 with
+// production-shaped defaults; see the field comments for each.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// DrainTimeout bounds graceful shutdown: how long in-flight requests
+	// may keep running after the listener closes before their contexts are
+	// cancelled (default 10s).
+	DrainTimeout time.Duration
+	// RequestTimeout is the per-request deadline applied when the request
+	// body carries no timeout_ms (default 30s).
+	RequestTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 60s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; larger ones get 413
+	// (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxInFlight is the admission gate: engine requests beyond it are
+	// shed with 503 + Retry-After. Default 4× the shared executor's worker
+	// count — enough concurrency to keep the pool saturated through
+	// decode/encode gaps, small enough that queueing shows up as fast 503s
+	// instead of latency.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint on shed responses (default 1s).
+	RetryAfter time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logf receives structured-ish log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * exec.Default().Stats().Workers
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server serves one engine over HTTP. Construct with New; start with Run
+// (or Serve, for an existing listener).
+type Server struct {
+	eng *notable.Engine
+	cfg Config
+
+	http       *http.Server
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	draining atomic.Bool
+	inflight atomic.Int64
+	shed     atomic.Int64
+	admit    chan struct{}
+
+	reqSeq   atomic.Uint64
+	reqNonce string
+	start    time.Time
+}
+
+// New builds a Server over eng. The engine must already hold its graph;
+// the server adds no per-request state beyond the gauges above.
+func New(eng *notable.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		eng:        eng,
+		cfg:        cfg,
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+		admit:      make(chan struct{}, cfg.MaxInFlight),
+		reqNonce:   newNonce(),
+		start:      time.Now(),
+	}
+	s.http = &http.Server{
+		Addr:    cfg.Addr,
+		Handler: s.Handler(),
+		// Request contexts derive from baseCtx so the drain path can cancel
+		// stragglers: the engine aborts within one sweep or label test.
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// newNonce returns a per-process request-id prefix so ids stay unique
+// across restarts.
+func newNonce() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "srv"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Handler returns the server's full route tree — exposed for tests and
+// for embedding behind an existing mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.Handle("/v1/search", s.engineEndpoint(s.handleSearch))
+	mux.Handle("/v1/batch", s.engineEndpoint(s.handleBatch))
+	mux.Handle("/v1/stream", s.engineEndpoint(s.handleStream))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// Every route — engine or not — gets an id, a log line, and panic
+	// isolation; only engine endpoints pass the admission gate.
+	return s.withRequestID(s.withRecovery(mux))
+}
+
+// Run listens on Config.Addr and serves until ctx is cancelled, then
+// drains: the caller typically passes a signal.NotifyContext ctx so
+// SIGTERM/SIGINT trigger the drain. Returns nil on a clean drain (even if
+// stragglers had to be cancelled — that is the designed degraded path,
+// and it is logged), or the listener/serve error.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run over an existing listener (tests use port 0).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.cfg.Logf("server: listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener died on its own; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+	return s.drain(errc)
+}
+
+// drain is the shutdown half of Serve: stop accepting, wait out in-flight
+// requests under the drain deadline, cancel stragglers, and only then
+// force-close whatever still holds a connection.
+func (s *Server) drain(errc chan error) error {
+	s.draining.Store(true)
+	s.cfg.Logf("server: draining (deadline %v, %d in flight)", s.cfg.DrainTimeout, s.inflight.Load())
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := s.http.Shutdown(shCtx)
+	if err != nil {
+		// Stragglers outlived the deadline: cancel their request contexts —
+		// the engine stops within one sweep or label test — and give the
+		// handlers a short grace to flush their (degraded or error)
+		// responses before dropping connections.
+		n := s.inflight.Load()
+		s.cancelBase()
+		graceCtx, cancelGrace := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancelGrace()
+		if err2 := s.http.Shutdown(graceCtx); err2 != nil {
+			s.http.Close()
+		}
+		s.cfg.Logf("server: drain deadline exceeded; cancelled %d in-flight request(s)", n)
+	} else {
+		s.cancelBase()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	s.cfg.Logf("server: drained")
+	return nil
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of admitted engine requests currently being
+// served.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// handleHealthz answers 200 while serving and 503 once draining, so load
+// balancers stop routing before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszResponse is the /statsz payload: the metrics-lite JSON view of
+// the process — cache residency per layer, executor load, and the serving
+// gauges an admission-tuning loop needs.
+type statszResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Draining      bool           `json:"draining"`
+	InFlight      int64          `json:"in_flight"`
+	MaxInFlight   int            `json:"max_in_flight"`
+	Shed          int64          `json:"shed_total"`
+	Goroutines    int            `json:"goroutines"`
+	Executor      exec.PoolStats `json:"executor"`
+	Cache         qcache.Stats   `json:"cache"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		InFlight:      s.inflight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Shed:          s.shed.Load(),
+		Goroutines:    runtime.NumGoroutine(),
+		Executor:      exec.Default().Stats(),
+		Cache:         s.eng.CacheStats(),
+	})
+}
+
+// errorResponse is the JSON error body every non-200 answer carries.
+type errorResponse struct {
+	Error     string   `json:"error"`
+	RequestID string   `json:"request_id,omitempty"`
+	Missing   []string `json:"missing,omitempty"`
+}
+
+// writeJSON writes v with the given status. Encoding into a buffer first
+// would let us turn encode errors into 500s, but every payload here is
+// built from plain structs — an encode error is a programming bug that
+// the recovery middleware would catch anyway.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps err to a status + JSON body. The mapping is by error
+// identity, never by message: typed library errors arrive here intact.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	resp := errorResponse{Error: err.Error(), RequestID: requestIDFrom(r.Context())}
+	var ue *notable.UnresolvedError
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
+	case errors.As(err, &ue):
+		resp.Missing = ue.Missing
+		writeJSON(w, http.StatusBadRequest, resp)
+	case errors.Is(err, notable.ErrBadQuery), errors.Is(err, notable.ErrEmptyQuery):
+		writeJSON(w, http.StatusBadRequest, resp)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	case errors.Is(err, context.Canceled):
+		// The client went away (or the drain cancelled us); the connection
+		// is usually dead, but answer properly in case it is not.
+		writeJSON(w, statusClientClosedRequest, resp)
+	default:
+		writeJSON(w, http.StatusInternalServerError, resp)
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the request ctx
+// was cancelled from outside the handler.
+const statusClientClosedRequest = 499
+
+// badRequest wraps a request-shape problem (malformed JSON, oversized
+// body) for writeError.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", notable.ErrBadQuery, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,417 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// testGraph is the leaders fixture: small enough that a search is
+// sub-millisecond, structured enough that studied/hasChild come out
+// notable.
+func testGraph() *notable.Graph {
+	b := notable.NewBuilder(128)
+	leaders := []string{"Angela Merkel", "Barack Obama", "Vladimir Putin",
+		"Matteo Renzi", "François Hollande", "David Cameron", "Xi Jinping",
+		"Justin Trudeau", "Shinzo Abe", "Dilma Rousseff"}
+	for i, l := range leaders {
+		b.SetType(l, "politician")
+		b.AddEdge(l, "memberOf", "G20")
+		b.AddEdge(l, "attended", "Summit")
+		for d := 1; d <= 3; d++ {
+			b.AddEdge(l, "met", leaders[(i+d)%len(leaders)])
+		}
+		if l == "Angela Merkel" {
+			b.AddEdge(l, "studied", "Physics")
+			continue
+		}
+		b.AddEdge(l, "studied", "Law")
+		b.AddEdge(l, "hasChild", "Child of "+l)
+	}
+	return b.Build()
+}
+
+func testEngine(opt notable.Options) *notable.Engine {
+	if opt.ContextSize == 0 {
+		opt.ContextSize = 6
+	}
+	if opt.Walks == 0 {
+		opt.Walks = 5000
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 3
+	}
+	return notable.NewEngine(testGraph(), opt)
+}
+
+// quietCfg silences logs and shrinks timeouts for tests; individual tests
+// override fields.
+func quietCfg() Config {
+	return Config{
+		Logf:           func(string, ...any) {},
+		RequestTimeout: 5 * time.Second,
+		DrainTimeout:   5 * time.Second,
+	}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSearchEndpoint: a plain search answers 200 with the flattened
+// result, a request id, and degraded=false.
+func TestSearchEndpoint(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Barack Obama"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Degraded {
+		t.Fatal("uncut search marked degraded")
+	}
+	if len(sr.Context) == 0 || len(sr.Characteristics) == 0 {
+		t.Fatalf("empty result: %s", data)
+	}
+	if sr.Tested != sr.Total || sr.Tested != len(sr.Characteristics) {
+		t.Fatalf("tested/total %d/%d with %d records", sr.Tested, sr.Total, len(sr.Characteristics))
+	}
+	names := map[string]bool{}
+	for _, c := range sr.Characteristics {
+		names[c.Label] = true
+	}
+	if !names["studied"] && !names["hasChild"] {
+		t.Fatalf("expected studied/hasChild in report: %s", data)
+	}
+
+	// Inbound request ids are honored end to end.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/search",
+		strings.NewReader(`{"entities":["Angela Merkel","Barack Obama"]}`))
+	req.Header.Set("X-Request-ID", "test-rid-42")
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "test-rid-42" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+}
+
+// TestErrorMapping: typed library errors and request-shape failures map
+// to the right statuses — never a generic 500.
+func TestErrorMapping(t *testing.T) {
+	cfg := quietCfg()
+	cfg.MaxBodyBytes = 512
+	s := New(testEngine(notable.Options{}), cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"malformed JSON", "/v1/search", `{"entities": [`, http.StatusBadRequest},
+		{"unknown field", "/v1/search", `{"entitees": ["X"]}`, http.StatusBadRequest},
+		{"empty query", "/v1/search", `{}`, http.StatusBadRequest},
+		{"bad override", "/v1/search", `{"entities":["Angela Merkel"],"top_k":-1}`, http.StatusBadRequest},
+		{"bad alpha", "/v1/search", `{"entities":["Angela Merkel"],"alpha":1.5}`, http.StatusBadRequest},
+		{"node id out of range", "/v1/search", `{"nodes":[999999]}`, http.StatusBadRequest},
+		{"empty batch", "/v1/batch", `{"queries":[]}`, http.StatusBadRequest},
+		{"oversized body", "/v1/search", `{"entities":["` + strings.Repeat("x", 600) + `"]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, err := client.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+		}
+	}
+
+	// Unresolved entities: 400 carrying the missing names.
+	resp, data := postJSON(t, client, ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Zzyzx Nobody"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unresolved: status %d", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Missing) != 1 || er.Missing[0] != "Zzyzx Nobody" {
+		t.Fatalf("missing = %v", er.Missing)
+	}
+
+	// GET on an engine endpoint: 405 with Allow.
+	getResp, err := client.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed || getResp.Header.Get("Allow") != http.MethodPost {
+		t.Fatalf("GET: status %d allow %q", getResp.StatusCode, getResp.Header.Get("Allow"))
+	}
+}
+
+// TestBatchAndStreamEndpoints: the batch answer preserves order; the
+// stream carries one NDJSON line per query with per-query error
+// isolation.
+func TestBatchAndStreamEndpoints(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := map[string]any{"queries": []map[string]any{
+		{"entities": []string{"Angela Merkel", "Barack Obama"}},
+		{"entities": []string{"Vladimir Putin"}, "top_k": 2},
+	}}
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, data)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	if got := br.Results[1].Query; len(got) != 1 || got[0] != "Vladimir Putin" {
+		t.Fatalf("order lost: result 1 query = %v", got)
+	}
+	if len(br.Results[1].Characteristics) > 2 {
+		t.Fatalf("top_k=2 ignored: %d records", len(br.Results[1].Characteristics))
+	}
+
+	// Stream: a bad query mid-batch becomes one error line, not a dead
+	// connection.
+	streamBody := map[string]any{"queries": []map[string]any{
+		{"entities": []string{"Angela Merkel", "Barack Obama"}},
+		{"top_k": -1, "entities": []string{"Angela Merkel"}},
+		{"entities": []string{"Vladimir Putin"}},
+	}}
+	buf, _ := json.Marshal(streamBody)
+	sresp, err := ts.Client().Post(ts.URL+"/v1/stream", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	seen := map[int]streamOutcome{}
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var o streamOutcome
+		if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		seen[o.Index] = o
+	}
+	if len(seen) != 3 {
+		t.Fatalf("%d outcomes, want 3", len(seen))
+	}
+	if seen[1].Error == "" || !strings.Contains(seen[1].Error, "TopK") {
+		t.Fatalf("outcome 1 error = %q, want a TopK validation error", seen[1].Error)
+	}
+	for _, i := range []int{0, 2} {
+		if seen[i].Error != "" || seen[i].Result == nil || len(seen[i].Result.Characteristics) == 0 {
+			t.Fatalf("outcome %d = %+v, want a completed result", i, seen[i])
+		}
+	}
+}
+
+// TestStatszEndpoint: the stats payload carries the gauges an operator
+// tunes by — executor width, cache layers, in-flight — and they move.
+func TestStatszEndpoint(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{"entities": []string{"Angela Merkel"}})
+	getResp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statszResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Executor.Workers < 1 {
+		t.Fatalf("executor workers = %d", st.Executor.Workers)
+	}
+	if st.MaxInFlight < 1 || st.Draining || st.InFlight != 0 {
+		t.Fatalf("gauges: %+v", st)
+	}
+	if st.Cache.Size == 0 {
+		t.Fatalf("cache shows no residency after a search: %s", data)
+	}
+	if st.Goroutines < 1 || st.UptimeSeconds < 0 {
+		t.Fatalf("process stats: %+v", st)
+	}
+}
+
+// TestDegradedHTTP: a deadline that lands mid-comparison yields HTTP 200
+// with degraded=true and a non-empty prefix of the full report — and with
+// "degrade": false, a 504 instead.
+func TestDegradedHTTP(t *testing.T) {
+	// Force every label test through Monte-Carlo sampling with a heavy
+	// budget so the comparison stage takes seconds while selection stays
+	// sub-millisecond: the deadline reliably lands mid-comparison.
+	eng := testEngine(notable.Options{TestExactLimit: 1, TestSamples: 3_000_000, Parallelism: 2})
+	s := New(eng, quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Full report size, measured without a deadline, for the subset check.
+	full, data := postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Barack Obama"},
+	})
+	if full.StatusCode != http.StatusOK {
+		t.Fatalf("full: status %d: %s", full.StatusCode, data)
+	}
+	var fullResp searchResponse
+	if err := json.Unmarshal(data, &fullResp); err != nil {
+		t.Fatal(err)
+	}
+	fullByLabel := map[string]wireCharacteristic{}
+	for _, c := range fullResp.Characteristics {
+		fullByLabel[c.Label] = c
+	}
+
+	// Cold-cache engine for the degraded run: the warm one would answer
+	// instantly. Same options, fresh process state.
+	eng2 := testEngine(notable.Options{TestExactLimit: 1, TestSamples: 3_000_000, Parallelism: 2})
+	s2 := New(eng2, quietCfg())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	resp, data := postJSON(t, ts2.Client(), ts2.URL+"/v1/search", map[string]any{
+		"entities":   []string{"Angela Merkel", "Barack Obama"},
+		"timeout_ms": 250,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded: status %d: %s", resp.StatusCode, data)
+	}
+	var dr searchResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Degraded {
+		t.Fatalf("deadline-cut response not degraded: %s", data)
+	}
+	if dr.Tested == 0 || len(dr.Characteristics) == 0 {
+		t.Fatalf("degraded response carries no partial work: %s", data)
+	}
+	if dr.Tested >= dr.Total || dr.Total != len(fullResp.Characteristics) {
+		t.Fatalf("tested/total = %d/%d, full report has %d", dr.Tested, dr.Total, len(fullResp.Characteristics))
+	}
+	for _, c := range dr.Characteristics {
+		fc, ok := fullByLabel[c.Label]
+		if !ok {
+			t.Fatalf("degraded label %q absent from full report", c.Label)
+		}
+		if c != fc {
+			t.Fatalf("degraded record for %q differs from the full run:\n  got  %+v\n  want %+v", c.Label, c, fc)
+		}
+	}
+
+	// Opting out of degradation turns the same cut into a 504.
+	eng3 := testEngine(notable.Options{TestExactLimit: 1, TestSamples: 3_000_000, Parallelism: 2})
+	s3 := New(eng3, quietCfg())
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	resp3, data3 := postJSON(t, ts3.Client(), ts3.URL+"/v1/search", map[string]any{
+		"entities":   []string{"Angela Merkel", "Barack Obama"},
+		"timeout_ms": 250,
+		"degrade":    false,
+	})
+	if resp3.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("degrade=false: status %d: %s", resp3.StatusCode, data3)
+	}
+}
+
+// TestHealthz: plain ok before any drain.
+func TestHealthz(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, data)
+	}
+}
+
+// degradedSanity guards the timing assumption the degraded tests lean on:
+// the heavy Monte-Carlo engine really is slow enough that 250ms cannot
+// finish the whole report. Run it first when debugging flakes.
+func TestDegradedTimingSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing probe")
+	}
+	eng := testEngine(notable.Options{TestExactLimit: 1, TestSamples: 3_000_000, Parallelism: 2})
+	start := time.Now()
+	nodes, err := eng.Resolve("Angela Merkel", "Barack Obama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Do(nil, notable.Query{Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Fatalf("full heavy search took only %v; degraded tests' 250ms deadline is too close", d)
+	}
+}

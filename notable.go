@@ -82,6 +82,23 @@
 // whole batch" to roughly "one query", while per-query results stay
 // bitwise identical to solo Do calls.
 //
+// # Serving
+//
+// Malformed requests fail fast with typed errors: ErrBadQuery (errors.Is)
+// rejects out-of-range overrides — negative TopK, ContextSize, or
+// TestSamples, Alpha outside (0, 1) — naming the offending field, before
+// any graph work runs. Query.Degrade opts a Do call into
+// deadline-degraded mode: when its ctx expires during the comparison
+// stage, the call returns the labels tested so far (always a
+// prefix-consistent subset of the full report, each record bitwise equal
+// to the full run's) together with a *DegradedError carrying
+// tested/total counts, instead of discarding the work.
+//
+// cmd/ncserved serves the engine over HTTP — graceful drain on
+// SIGTERM, per-request deadlines with degraded-by-default responses,
+// panic isolation, and load shedding; see internal/server and
+// docs/serving.md.
+//
 // Neither caching, batching, nor parallelism changes results: every
 // randomized component takes an explicit seed, label tests run on a
 // bounded worker pool writing to fixed per-label slots, the dense

@@ -395,3 +395,151 @@ func TestCancelledRunStoresNoPartialSeedVectors(t *testing.T) {
 		t.Fatalf("seed layer holds %d bytes after an aborted solve", st.Layers[qcache.LayerSeed].Bytes)
 	}
 }
+
+// TestQueryValidation: override values no engine configuration could make
+// valid return ErrBadQuery naming the field — from Do, DoBatch, and
+// DoStream alike — instead of silently inheriting engine defaults.
+func TestQueryValidation(t *testing.T) {
+	g := buildLeaders()
+	e := NewEngine(g, Options{ContextSize: 4, Walks: 5000, Seed: 1, TestSamples: 500})
+	ctx := context.Background()
+	nodes, err := e.Resolve("Angela Merkel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		field string
+		q     Query
+	}{
+		{"TopK", Query{Nodes: nodes, TopK: -1}},
+		{"ContextSize", Query{Nodes: nodes, ContextSize: -3}},
+		{"Alpha", Query{Nodes: nodes, Alpha: -0.05}},
+		{"Alpha", Query{Nodes: nodes, Alpha: 1}},
+		{"Alpha", Query{Nodes: nodes, Alpha: 1.5}},
+		{"TestSamples", Query{Nodes: nodes, TestSamples: -5}},
+	}
+	for _, tc := range cases {
+		_, err := e.Do(ctx, tc.q)
+		if !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("%s: Do err = %v, want ErrBadQuery", tc.field, err)
+		}
+		if !contains(err.Error(), tc.field) {
+			t.Fatalf("%s: error %q does not name the field", tc.field, err)
+		}
+		if errors.Is(err, ErrEmptyQuery) {
+			t.Fatalf("%s: bad-override error must not match ErrEmptyQuery", tc.field)
+		}
+	}
+
+	// Batch: the whole batch fails, naming the offending index.
+	_, err = e.DoBatch(ctx, []Query{{Nodes: nodes}, {Nodes: nodes, TopK: -2}})
+	if !errors.Is(err, ErrBadQuery) || !contains(err.Error(), "batch index 1") {
+		t.Fatalf("DoBatch err = %v, want ErrBadQuery naming index 1", err)
+	}
+
+	// Stream: the malformed query yields a typed-error outcome, the valid
+	// one still completes.
+	outcomes := map[int]Outcome{}
+	for o := range e.DoStream(ctx, []Query{{Nodes: nodes, Alpha: 2}, {Nodes: nodes}}) {
+		outcomes[o.Index] = o
+	}
+	if !errors.Is(outcomes[0].Err, ErrBadQuery) {
+		t.Fatalf("stream outcome 0 err = %v, want ErrBadQuery", outcomes[0].Err)
+	}
+	if outcomes[1].Err != nil || len(outcomes[1].Result.Characteristics) == 0 {
+		t.Fatalf("stream outcome 1 = %+v, want a completed result", outcomes[1])
+	}
+}
+
+// TestDoDegraded: with Query.Degrade, a cut landing in the comparison
+// stage returns HTTP-servable partial state — the full context plus a
+// prefix-consistent subset of the uncut report — alongside a
+// *DegradedError; cuts before the context completes still fail whole, and
+// the engine's cache stays uncorrupted either way.
+func TestDoDegraded(t *testing.T) {
+	g := buildLeaders()
+	opt := Options{ContextSize: 6, Selector: SelectorRandomWalk, Seed: 3, TestSamples: 500}
+	want, err := NewEngine(g, opt).Do(context.Background(), Query{Nodes: mustResolve(t, g, opt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByName := map[string]Characteristic{}
+	for _, c := range want.Characteristics {
+		wantByName[c.Name] = c
+	}
+	nodes := mustResolve(t, g, opt)
+
+	probe := newCountdownCtx(1 << 30)
+	if _, err := NewEngine(g, opt).Do(probe, Query{Nodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	total := (1 << 30) - probe.left.Load()
+
+	degradedSeen := false
+	for k := int64(1); k < total; k += 1 + total/24 {
+		res, err := NewEngine(g, opt).Do(newCountdownCtx(k), Query{Nodes: nodes, Degrade: true})
+		var de *DegradedError
+		switch {
+		case err == nil:
+			t.Fatalf("cut at probe %d completed on a cold engine", k)
+		case errors.As(err, &de):
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cut at probe %d: DegradedError does not unwrap the ctx error: %v", k, err)
+			}
+			if !reflect.DeepEqual(res.Context, want.Context) {
+				t.Fatalf("cut at probe %d: degraded context differs from the uncut run", k)
+			}
+			if len(res.Characteristics) != de.Tested || de.Total != len(want.Characteristics) {
+				t.Fatalf("cut at probe %d: counts %d/%d vs %d records, want total %d",
+					k, de.Tested, de.Total, len(res.Characteristics), len(want.Characteristics))
+			}
+			for _, c := range res.Characteristics {
+				full, ok := wantByName[c.Name]
+				if !ok {
+					t.Fatalf("cut at probe %d: degraded record %q absent from the uncut run", k, c.Name)
+				}
+				if !reflect.DeepEqual(c, full) {
+					t.Fatalf("cut at probe %d: degraded record %q differs from the uncut run", k, c.Name)
+				}
+			}
+			if len(res.Characteristics) > 0 {
+				degradedSeen = true
+			}
+		case errors.Is(err, context.Canceled):
+			// Cut landed before the comparison stage: all-or-nothing.
+			if len(res.Characteristics) != 0 {
+				t.Fatalf("cut at probe %d: bare cancellation returned characteristics", k)
+			}
+		default:
+			t.Fatalf("cut at probe %d: unexpected err %v", k, err)
+		}
+	}
+	if !degradedSeen {
+		t.Fatal("no cut depth produced a non-empty degraded result; cut grid too coarse")
+	}
+
+	// Degraded runs never corrupt the cache: an engine scarred by degraded
+	// cuts completes the same request bitwise identically.
+	scarred := NewEngine(g, opt)
+	for k := int64(1); k < total; k += 1 + total/8 {
+		_, _ = scarred.Do(newCountdownCtx(k), Query{Nodes: nodes, Degrade: true})
+	}
+	got, err := scarred.Do(context.Background(), Query{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("result after degraded runs differs — cache corrupted")
+	}
+}
+
+// mustResolve returns the standard three-leader query for degraded-mode
+// tests.
+func mustResolve(t *testing.T, g *Graph, opt Options) []NodeID {
+	t.Helper()
+	nodes, err := NewEngine(g, opt).Resolve("Angela Merkel", "Barack Obama", "Vladimir Putin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}

@@ -12,6 +12,7 @@ package notable
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -46,6 +47,36 @@ type Query struct {
 	TestSamples int
 	// Parallelism overrides Options.Parallelism when > 0.
 	Parallelism int
+
+	// Degrade opts this request into deadline-degraded mode: when ctx is
+	// cut (deadline or cancellation) during the comparison stage, Do
+	// returns the labels tested so far — a prefix-consistent subset of the
+	// full report, context included — alongside a *DegradedError instead
+	// of discarding the work with a bare ctx error. A cut before the
+	// context is selected still fails whole. Only Do honors Degrade;
+	// DoBatch and DoStream abandon cancelled work outright.
+	Degrade bool
+}
+
+// validate rejects override values no engine configuration could make
+// valid. Zero values are never errors — they mean "inherit the engine's
+// option" — so validation only fires on explicit nonsense: negative
+// sizes/counts and significance levels outside (0, 1).
+func (q Query) validate() error {
+	if len(q.Nodes) == 0 {
+		return ErrEmptyQuery
+	}
+	switch {
+	case q.TopK < 0:
+		return fmt.Errorf("%w: TopK %d < 0", ErrBadQuery, q.TopK)
+	case q.ContextSize < 0:
+		return fmt.Errorf("%w: ContextSize %d < 0", ErrBadQuery, q.ContextSize)
+	case q.Alpha != 0 && (q.Alpha <= 0 || q.Alpha >= 1):
+		return fmt.Errorf("%w: Alpha %v outside (0, 1)", ErrBadQuery, q.Alpha)
+	case q.TestSamples < 0:
+		return fmt.Errorf("%w: TestSamples %d < 0", ErrBadQuery, q.TestSamples)
+	}
+	return nil
 }
 
 // apply returns o with q's non-zero overrides folded in.
@@ -82,8 +113,8 @@ func (q Query) trim(res Result) Result {
 // Outcome is one query's entry in a DoStream: the index of the query in
 // the request slice, and its result or error. Exactly one of Result/Err
 // is meaningful: Err is nil for a completed search, ctx.Err() for a
-// query abandoned by cancellation, or a validation error (ErrEmptyQuery)
-// for a malformed query.
+// query abandoned by cancellation, or a validation error (ErrEmptyQuery,
+// ErrBadQuery) for a malformed query.
 type Outcome struct {
 	// Index locates the query in the DoStream request slice.
 	Index int
@@ -100,14 +131,24 @@ type Outcome struct {
 // abandoned request (only complete vectors and records are stored).
 // For equal engine options and overrides, Do's result is bitwise
 // identical to the deprecated Search.
+//
+// With q.Degrade set, a cut that lands in the comparison stage returns
+// the partial Result (context + labels tested so far, TopK-trimmed)
+// alongside a *DegradedError instead; see Query.Degrade.
 func (e *Engine) Do(ctx context.Context, q Query) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(q.Nodes) == 0 {
-		return Result{}, ErrEmptyQuery
+	if err := q.validate(); err != nil {
+		return Result{}, err
 	}
-	res, err := core.FindNC(ctx, e.g, q.Nodes, e.coreOptionsFor(e.opt.apply(q)))
+	copt := e.coreOptionsFor(e.opt.apply(q))
+	copt.Partial = q.Degrade
+	res, err := core.FindNC(ctx, e.g, q.Nodes, copt)
+	var pe *core.PartialError
+	if errors.As(err, &pe) {
+		return q.trim(res), &DegradedError{Cause: pe.Cause, Tested: pe.Tested, Total: pe.Total}
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -173,8 +214,8 @@ func (e *Engine) DoStream(ctx context.Context, qs []Query) <-chan Outcome {
 	valid := make([]Query, 0, len(qs))
 	origIdx := make([]int, 0, len(qs)) // maps valid-slice position → qs index
 	for i, q := range qs {
-		if len(q.Nodes) == 0 {
-			ch <- Outcome{Index: i, Err: fmt.Errorf("%w (batch index %d)", ErrEmptyQuery, i)}
+		if err := q.validate(); err != nil {
+			ch <- Outcome{Index: i, Err: fmt.Errorf("%w (batch index %d)", err, i)}
 			continue
 		}
 		valid = append(valid, q)
@@ -220,8 +261,8 @@ func (e *Engine) groupRequests(qs []Query) ([]*requestGroup, error) {
 	byOpt := make(map[Options]*requestGroup)
 	var groups []*requestGroup
 	for i, q := range qs {
-		if len(q.Nodes) == 0 {
-			return nil, fmt.Errorf("%w (batch index %d)", ErrEmptyQuery, i)
+		if err := q.validate(); err != nil {
+			return nil, fmt.Errorf("%w (batch index %d)", err, i)
 		}
 		eff := e.opt.apply(q)
 		grp := byOpt[eff]
