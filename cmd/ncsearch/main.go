@@ -77,8 +77,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ncsearch:", err)
 		os.Exit(1)
 	}
-	fmt.Println("graph:", g.Stats())
-
 	engine := notable.NewEngine(g, notable.Options{
 		ContextSize: *k,
 		Selector:    *selector,
@@ -87,6 +85,7 @@ func main() {
 		Policy:      *policy,
 		Seed:        *seed,
 	})
+	fmt.Printf("graph: %s (epoch %d)\n", g.Stats(), engine.Epoch())
 
 	if *refine {
 		if err := runRefine(ctx, engine, os.Stdin); err != nil {

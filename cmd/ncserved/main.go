@@ -8,8 +8,10 @@
 //	POST /v1/search   one query; degraded 200 under deadline by default
 //	POST /v1/batch    many queries, one deduplicated pass
 //	POST /v1/stream   NDJSON, one line per outcome in completion order
+//	POST /v1/ingest   live triple adds/deletes; publishes a new graph epoch
 //	GET  /healthz     200 serving / 503 draining
-//	GET  /statsz      cache layers, executor load, in-flight gauge
+//	GET  /statsz      cache layers, executor load, in-flight gauge,
+//	                  graph epoch + overlay/compaction counters
 //	     /debug/pprof with -pprof
 //
 // SIGTERM or SIGINT begins a graceful drain: the listener closes,
@@ -58,8 +60,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ncserved:", err)
 		os.Exit(1)
 	}
-	fmt.Println("graph:", g.Stats())
-
 	engine := notable.NewEngine(g, notable.Options{
 		ContextSize: *k,
 		Selector:    *selector,
@@ -69,6 +69,7 @@ func main() {
 		Parallelism: *parallelism,
 		CacheShards: *cacheShards,
 	})
+	fmt.Printf("graph: %s (epoch %d)\n", g.Stats(), engine.Epoch())
 	srv := server.New(engine, server.Config{
 		Addr:           *addr,
 		DrainTimeout:   *drain,

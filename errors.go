@@ -19,6 +19,13 @@ var ErrEmptyQuery = errors.New("notable: empty query")
 // the engine's option".)
 var ErrBadQuery = errors.New("notable: bad query")
 
+// ErrBadTriple is returned by ApplyTriples when a mutation batch carries
+// a malformed triple — an empty subject, predicate, or object. The batch
+// is rejected whole: the graph, its epoch, and every cache stay exactly
+// as they were. The returned error wraps ErrBadTriple and names the
+// offending triple; match with errors.Is.
+var ErrBadTriple = errors.New("notable: bad triple")
+
 // DegradedError reports a request that opted into degraded mode
 // (Query.Degrade) and was cut short by its deadline or cancellation during
 // the comparison stage. The Do call that returned it also returned a

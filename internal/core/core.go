@@ -124,10 +124,14 @@ type Options struct {
 	// building and the multinomial test outright. The cached master
 	// record is private to the cache: every result handed to a caller
 	// carries freshly cloned distribution slices, so callers own and may
-	// mutate what they receive, cached or not. Keys do not embed graph
-	// identity: a cache must serve exactly one graph (the engine owns one
-	// per graph).
+	// mutate what they receive, cached or not. Keys fold CacheTag, which
+	// carries the graph epoch when the cache serves a live-mutable graph.
 	TestCache *qcache.Cache
+	// CacheTag is folded verbatim into every TestCache key. Callers
+	// serving a mutable graph put the graph's epoch here so records
+	// computed against one epoch are never served at another;
+	// single-graph callers may leave it empty.
+	CacheTag string
 }
 
 func (o Options) withDefaults() Options {
@@ -427,8 +431,8 @@ type labelScratch struct {
 // hashed compactly, and every option that can change a test outcome.
 // opt must already carry defaults.
 func testKeyBase(query, cset []kg.NodeID, opt Options) string {
-	prefix := fmt.Sprintf("mt|a%v|el%d|mc%d|s%d|pol%d|c%x",
-		opt.Test.Alpha, opt.Test.ExactLimit, opt.Test.Samples, opt.Test.Seed,
+	prefix := fmt.Sprintf("mt|%s|a%v|el%d|mc%d|s%d|pol%d|c%x",
+		opt.CacheTag, opt.Test.Alpha, opt.Test.ExactLimit, opt.Test.Samples, opt.Test.Seed,
 		opt.Policy, qcache.HashIDs(cset))
 	return qcache.MultisetKey(prefix, query)
 }

@@ -14,6 +14,12 @@
 // The adjacency is stored in compressed sparse row (CSR) form: a single
 // edge slice sorted by (label, target) per node, plus per-node offsets.
 // Graphs are immutable after Build and safe for concurrent readers.
+//
+// Live mutation is layered on top of that immutability rather than poked
+// into it: a Versioned store holds the current Graph behind an atomic
+// pointer, and each Apply publishes a fresh copy-on-write overlay Graph
+// (shared base CSR plus per-node patches) stamped with a new epoch. See
+// versioned.go and overlay.go.
 package kg
 
 import (
@@ -65,6 +71,14 @@ type Edge struct {
 }
 
 // Graph is an immutable labeled multigraph. Build one with a Builder.
+//
+// A Graph comes in two flavors sharing one read API. A base graph (the
+// Builder's and ReadSnapshot's product) stores its adjacency in the CSR
+// arrays below. An overlay graph — produced by Versioned.Apply — shares a
+// base graph's arrays and dictionaries and layers a copy-on-write patch
+// set on top (see overlay); its CSR fields are nil and every accessor
+// routes through the patch set first. Both flavors are immutable once
+// published and safe for concurrent readers.
 type Graph struct {
 	nodes  *dict.Dict
 	labels *dict.Dict
@@ -80,42 +94,83 @@ type Graph struct {
 	// weight[l] = 1 − |E_l|/|E| (Eq. 1), the informativeness of label l.
 	weight []float64
 	// wdeg[n] = Σ_{e ∈ out(n)} weight[e.Label], cached for transition
-	// probability normalization.
+	// probability normalization. nil on overlay graphs, which compute it
+	// lazily (overlay.wdegs).
 	wdeg []float64
 
 	// trans is the lazily built per-edge transition matrix (see
 	// TransitionCSR); derived data, never serialized.
 	transOnce sync.Once
 	trans     *TransitionCSR
+
+	// ov, when non-nil, marks this graph as a copy-on-write view over
+	// ov.base. Base graphs leave it nil and never pay more than the nil
+	// check on the read path.
+	ov *overlay
 }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+func (g *Graph) NumNodes() int {
+	if g.ov != nil {
+		return g.ov.n
+	}
+	return len(g.offsets) - 1
+}
 
 // NumEdges returns |E| including the automatically added inverse edges.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int {
+	if g.ov != nil {
+		return g.ov.m
+	}
+	return len(g.edges)
+}
 
 // NumLabels returns the number of distinct edge labels, inverses included.
-func (g *Graph) NumLabels() int { return g.labels.Len() }
+func (g *Graph) NumLabels() int { return len(g.inverse) }
 
 // NumTypes returns the number of distinct node types.
-func (g *Graph) NumTypes() int { return g.types.Len() }
+func (g *Graph) NumTypes() int {
+	if g.ov != nil {
+		return g.types.Len() + g.ov.typeX.count()
+	}
+	return g.types.Len()
+}
 
 // NodeName returns the name of node n.
-func (g *Graph) NodeName(n NodeID) string { return g.nodes.String(n) }
+func (g *Graph) NodeName(n NodeID) string {
+	if g.ov != nil {
+		if name, ok := g.ov.nodeX.name(n); ok {
+			return name
+		}
+	}
+	return g.nodes.String(n)
+}
 
 // NodeByName returns the ID of the named node, and whether it exists.
 func (g *Graph) NodeByName(name string) (NodeID, bool) {
 	id := g.nodes.Lookup(name)
+	if id == dict.NoID && g.ov != nil {
+		return g.ov.nodeX.lookup(name)
+	}
 	return id, id != dict.NoID
 }
 
 // LabelName returns the name of edge label l.
-func (g *Graph) LabelName(l LabelID) string { return g.labels.String(l) }
+func (g *Graph) LabelName(l LabelID) string {
+	if g.ov != nil {
+		if name, ok := g.ov.labelX.name(l); ok {
+			return name
+		}
+	}
+	return g.labels.String(l)
+}
 
 // LabelByName returns the ID of the named edge label, and whether it exists.
 func (g *Graph) LabelByName(name string) (LabelID, bool) {
 	id := g.labels.Lookup(name)
+	if id == dict.NoID && g.ov != nil {
+		return g.ov.labelX.lookup(name)
+	}
 	return id, id != dict.NoID
 }
 
@@ -124,11 +179,26 @@ func (g *Graph) TypeName(t TypeID) string {
 	if t == NoType {
 		return ""
 	}
+	if g.ov != nil {
+		if name, ok := g.ov.typeX.name(t); ok {
+			return name
+		}
+	}
 	return g.types.String(t)
 }
 
 // TypeOf returns φ(n), the primary type of node n (NoType if unset).
-func (g *Graph) TypeOf(n NodeID) TypeID { return g.nodeType[n] }
+func (g *Graph) TypeOf(n NodeID) TypeID {
+	if g.ov != nil {
+		if t, ok := g.ov.typePatch[n]; ok {
+			return t
+		}
+		if int(n) >= len(g.nodeType) {
+			return NoType
+		}
+	}
+	return g.nodeType[n]
+}
 
 // InverseLabel returns l⁻¹.
 func (g *Graph) InverseLabel(l LabelID) LabelID { return g.inverse[l] }
@@ -136,18 +206,24 @@ func (g *Graph) InverseLabel(l LabelID) LabelID { return g.inverse[l] }
 // IsInverse reports whether l is one of the automatically generated inverse
 // labels (its name carries InverseSuffix).
 func (g *Graph) IsInverse(l LabelID) bool {
-	_, ok := baseName(g.labels.String(l))
+	_, ok := baseName(g.LabelName(l))
 	return ok
 }
 
 // OutEdges returns the adjacency slice of node n, sorted by (Label, To).
 // The slice is owned by the graph and must not be modified.
 func (g *Graph) OutEdges(n NodeID) []Edge {
+	if g.ov != nil {
+		return g.ov.outEdges(n)
+	}
 	return g.edges[g.offsets[n]:g.offsets[n+1]]
 }
 
 // OutDegree returns the number of outgoing edges of n (inverses included).
 func (g *Graph) OutDegree(n NodeID) int {
+	if g.ov != nil {
+		return len(g.ov.outEdges(n))
+	}
 	return int(g.offsets[n+1] - g.offsets[n])
 }
 
@@ -172,10 +248,11 @@ func (g *Graph) LabelCount(l LabelID) int64 { return g.labelCount[l] }
 
 // LabelFrequency returns |E_l| / |E|.
 func (g *Graph) LabelFrequency(l LabelID) float64 {
-	if len(g.edges) == 0 {
+	m := g.NumEdges()
+	if m == 0 {
 		return 0
 	}
-	return float64(g.labelCount[l]) / float64(len(g.edges))
+	return float64(g.labelCount[l]) / float64(m)
 }
 
 // LabelWeight returns the informativeness weight 1 − |E_l|/|E| of Eq. 1.
@@ -183,7 +260,12 @@ func (g *Graph) LabelWeight(l LabelID) float64 { return g.weight[l] }
 
 // WeightedOutDegree returns Σ over out-edges of n of LabelWeight, the
 // normalizer of the weighted transition probability.
-func (g *Graph) WeightedOutDegree(n NodeID) float64 { return g.wdeg[n] }
+func (g *Graph) WeightedOutDegree(n NodeID) float64 {
+	if g.ov != nil {
+		return g.ov.wdegs()[n]
+	}
+	return g.wdeg[n]
+}
 
 // LabelsOf returns the distinct edge labels present on the out-edges of the
 // given nodes — L restricted to the set, per Definition 3.
@@ -204,6 +286,15 @@ func (g *Graph) LabelsOf(nodes []NodeID) []LabelID {
 
 // NodesWithType returns all nodes whose primary type is t, in ID order.
 func (g *Graph) NodesWithType(t TypeID) []NodeID {
+	if g.ov != nil {
+		var out []NodeID
+		for n := 0; n < g.ov.n; n++ {
+			if g.TypeOf(NodeID(n)) == t {
+				out = append(out, NodeID(n))
+			}
+		}
+		return out
+	}
 	var out []NodeID
 	for n, tt := range g.nodeType {
 		if tt == t {

@@ -24,25 +24,27 @@ const SnapshotMagic = snapMagic
 // WriteSnapshot serializes the graph to w in the binary snapshot format:
 // dictionaries, per-node types, and the CSR adjacency, varint-encoded and
 // protected by a CRC32 trailer. Derived data (label counts, weights) is
-// recomputed on load rather than stored.
+// recomputed on load rather than stored. Overlay graphs serialize their
+// effective (patched) state, so reading the snapshot back yields a flat
+// graph identical to Materialize's result.
 func (g *Graph) WriteSnapshot(w io.Writer) error {
 	sw := snapshot.NewWriter(w, snapMagic, snapVersion)
 
-	writeDict := func(d *dict.Dict) {
-		sw.Uvarint(uint64(d.Len()))
-		for _, s := range d.Strings() {
-			sw.String(s)
+	writeNames := func(n int, name func(uint32) string) {
+		sw.Uvarint(uint64(n))
+		for i := 0; i < n; i++ {
+			sw.String(name(uint32(i)))
 		}
 	}
-	writeDict(g.nodes)
-	writeDict(g.labels)
-	writeDict(g.types)
+	writeNames(g.NumNodes(), func(i uint32) string { return g.NodeName(i) })
+	writeNames(g.NumLabels(), func(i uint32) string { return g.LabelName(i) })
+	writeNames(g.NumTypes(), func(i uint32) string { return g.TypeName(i) })
 
 	for _, inv := range g.inverse {
 		sw.Uvarint(uint64(inv))
 	}
-	for _, t := range g.nodeType {
-		if t == NoType {
+	for n := 0; n < g.NumNodes(); n++ {
+		if t := g.TypeOf(NodeID(n)); t == NoType {
 			sw.Uvarint(0)
 		} else {
 			sw.Uvarint(uint64(t) + 1)

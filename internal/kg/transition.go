@@ -22,7 +22,8 @@ import (
 // power-iteration inner loop.
 type TransitionCSR struct {
 	g    *Graph
-	prob []float64 // len NumEdges, aligned with g.edges
+	prob []float64 // len NumEdges, aligned with the graph's edge enumeration
+	off  []int64   // row offsets into prob; shares the base CSR offsets when possible
 
 	// Transpose layout for gather-style power iteration: the in-edges of
 	// node x are tFrom[tOff[x]:tOff[x+1]] with matching arrival
@@ -42,8 +43,12 @@ type TransitionCSR struct {
 // not be modified.
 func (g *Graph) Transitions() *TransitionCSR {
 	g.transOnce.Do(func() {
+		if g.ov != nil {
+			g.trans = g.ov.buildTransitions()
+			return
+		}
 		n := g.NumNodes()
-		t := &TransitionCSR{g: g, prob: make([]float64, len(g.edges))}
+		t := &TransitionCSR{g: g, prob: make([]float64, len(g.edges)), off: g.offsets}
 		for v := 0; v < n; v++ {
 			lo, hi := g.offsets[v], g.offsets[v+1]
 			if lo == hi {
@@ -91,7 +96,7 @@ func (g *Graph) Transitions() *TransitionCSR {
 // aligned with OutEdges(n). The slice is owned by the matrix and must not
 // be modified.
 func (t *TransitionCSR) Probs(n NodeID) []float64 {
-	return t.prob[t.g.offsets[n]:t.g.offsets[n+1]]
+	return t.prob[t.off[n]:t.off[n+1]]
 }
 
 // GatherStep computes one damped power-iteration step, next = c·Ã·p, as a

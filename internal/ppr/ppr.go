@@ -89,9 +89,14 @@ type Options struct {
 	// new seed instead of one per query seed. Caching never changes
 	// results: cached and fresh vectors carry identical bits and fold in
 	// the same order (see seedcache.go). Keys fold Damping, Iterations,
-	// and Uniform but not graph identity — a cache must serve exactly one
-	// graph.
+	// Uniform, and CacheTag.
 	SeedCache *qcache.Cache
+
+	// CacheTag is folded verbatim into every seed-cache key. Callers
+	// serving a mutable graph put the graph's epoch here so vectors
+	// solved against one epoch are never replayed against another;
+	// single-graph callers may leave it empty.
+	CacheTag string
 
 	// gatherWorkers is the resolved per-run gather parallelism, set by the
 	// exported entry points before personalizedInto runs.

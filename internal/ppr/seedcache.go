@@ -14,9 +14,11 @@
 // frontier-sparse stores its support list and values (often far below
 // 8·n bytes), a saturated solve stores the dense vector. Entries are
 // byte-accounted, so the seed layer's budget (the engine's
-// SeedCacheBytes) bounds residency; keys fold damping, iterations, and
-// the uniform flag, and never embed graph identity — a cache must serve
-// exactly one graph, the same contract as every other qcache layer.
+// SeedCacheBytes) bounds residency; keys fold damping, iterations, the
+// uniform flag, and the caller's CacheTag — the graph epoch when the
+// cache serves a live-mutable graph, so entries solved against one epoch
+// are never replayed against another (the same epoch-keying contract as
+// every other qcache layer).
 package ppr
 
 import (
@@ -93,9 +95,10 @@ func extractSeedVec(ws *workspace, n int) *seedVec {
 }
 
 // seedKeyPrefix folds every option that can change a single-seed vector
-// into the cache-key prefix. opt must already carry defaults.
+// into the cache-key prefix, plus the caller's CacheTag (the graph epoch
+// for mutable graphs). opt must already carry defaults.
 func seedKeyPrefix(opt Options) string {
-	return fmt.Sprintf("ppr|d%v|i%d|u%t", opt.Damping, opt.Iterations, opt.Uniform)
+	return fmt.Sprintf("ppr|%s|d%v|i%d|u%t", opt.CacheTag, opt.Damping, opt.Iterations, opt.Uniform)
 }
 
 // seedKey is the cache key of one seed's vector under prefix.

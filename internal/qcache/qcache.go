@@ -36,16 +36,31 @@
 //
 // A cache key is built by Key: a selector/options prefix (anything that
 // changes the cached value must be folded into it — selector name, walk
-// budget, seed, and for selectors without a score vector the context size
-// k) followed by the query node IDs sorted ascending and deduplicated, so
-// that permutations of one entity set share an entry. Queries listing the
-// same node twice are not canonicalizable (duplicate seeds change
-// PageRank's personalization mass) — callers bypass the cache for those.
-// MultisetKey keeps duplicates for the order-independent but
-// multiplicity-sensitive comparison stage.
+// budget, damping, seed, and for selectors without a score vector the
+// context size k) followed by the query node IDs sorted ascending and
+// deduplicated, so that permutations of one entity set share an entry.
+// Queries listing the same node twice are not canonicalizable (duplicate
+// seeds change PageRank's personalization mass) — callers bypass the
+// cache for those. MultisetKey keeps duplicates for the order-independent
+// but multiplicity-sensitive comparison stage.
 //
 // Values are opaque to the cache and treated as immutable once cached.
-// Keys never embed graph identity: a cache must serve exactly one graph.
+//
+// # Epoch keying
+//
+// One cache serves one engine, but that engine's graph is live: each
+// effective mutation batch publishes a new epoch. Graph identity
+// therefore rides in the keys — callers fold the epoch of the view a
+// request pinned into every graph-derived prefix (the selector, test,
+// and seed layers), so an entry computed against one epoch is never
+// served at another, while re-running a query at an unchanged epoch
+// still pure-hits. Epochs survive no-op batches and compaction (neither
+// changes the readable graph), so warm entries survive them too; stale
+// epochs' entries are not purged eagerly, they simply stop being
+// addressed and age out of the LRU. The null layer is the exception by
+// design: its keys are the context distribution itself, the only input
+// the memoized null depends on, so a distribution that recurs across
+// epochs legitimately reuses its entry.
 package qcache
 
 import (

@@ -66,6 +66,11 @@ func NewIndex(g *kg.Graph) *Index {
 	return idx
 }
 
+// NumNodes reports how many nodes the index covers — callers serving a
+// live-mutable graph compare it with the current graph's node count to
+// decide whether the index needs a rebuild.
+func (idx *Index) NumNodes() int { return len(idx.tokenCount) }
+
 // Lookup finds the best matches for a free-text mention. An exact
 // (case-insensitive) name match always ranks first with score 1; otherwise
 // candidates are scored by the fraction of query tokens they contain,

@@ -29,6 +29,8 @@ type wireQuery struct {
 	Policy      string           `json:"policy,omitempty"`
 	TestSamples int              `json:"test_samples,omitempty"`
 	Parallelism int              `json:"parallelism,omitempty"`
+	Walks       int              `json:"walks,omitempty"`
+	Damping     float64          `json:"damping,omitempty"`
 	// Degrade opts into deadline-degraded mode. Omitted means true: a
 	// serving deadline should degrade a response, not destroy it. Send
 	// false to get a 504 instead of a partial 200.
@@ -126,6 +128,8 @@ func (s *Server) toQuery(wq wireQuery) (notable.Query, error) {
 		Policy:      wq.Policy,
 		TestSamples: wq.TestSamples,
 		Parallelism: wq.Parallelism,
+		Walks:       wq.Walks,
+		Damping:     wq.Damping,
 		Degrade:     degrade,
 	}, nil
 }
@@ -231,6 +235,79 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = s.toResponse(res, nil, elapsed, "")
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// wireTriple is one (subject, predicate, object) fact on the wire.
+type wireTriple struct {
+	S string `json:"s"`
+	P string `json:"p"`
+	O string `json:"o"`
+}
+
+// ingestRequest is the /v1/ingest body: triples to add and delete, one
+// atomic batch. Deletes apply before adds, exactly like
+// notable.Engine.ApplyTriples.
+type ingestRequest struct {
+	Adds      []wireTriple `json:"adds,omitempty"`
+	Dels      []wireTriple `json:"dels,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// ingestResponse reports the batch's outcome: the epoch now current
+// (unchanged when the batch had no effect) and the live store's overlay
+// state afterwards.
+type ingestResponse struct {
+	RequestID   string  `json:"request_id,omitempty"`
+	Epoch       uint64  `json:"epoch"`
+	OverlayAdds int     `json:"overlay_adds"`
+	OverlayDels int     `json:"overlay_dels"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// toTriples converts wire triples, rejecting nothing — field validation
+// (empty s/p/o) belongs to ApplyTriples so the error surface is one.
+func toTriples(ws []wireTriple) []notable.Triple {
+	if len(ws) == 0 {
+		return nil
+	}
+	ts := make([]notable.Triple, len(ws))
+	for i, w := range ws {
+		ts[i] = notable.Triple{S: w.S, P: w.P, O: w.O}
+	}
+	return ts
+}
+
+// handleIngest serves POST /v1/ingest: applies one triple batch to the
+// live graph and publishes it as a new epoch, without a restart and
+// without interrupting in-flight searches (they finish on the epoch they
+// pinned). Malformed triples reject the whole batch with 400 and leave
+// the graph untouched.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if len(req.Adds) == 0 && len(req.Dels) == 0 {
+		s.writeError(w, r, badRequestf("empty ingest: no adds or dels"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+	start := time.Now()
+	epoch, err := s.eng.ApplyTriples(ctx, toTriples(req.Adds), toTriples(req.Dels))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	st := s.eng.VersionStats()
+	writeJSON(w, http.StatusOK, ingestResponse{
+		RequestID:   requestIDFrom(r.Context()),
+		Epoch:       epoch,
+		OverlayAdds: st.OverlayAdds,
+		OverlayDels: st.OverlayDels,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 // handleStream serves POST /v1/stream: NDJSON, one streamOutcome per

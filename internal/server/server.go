@@ -33,9 +33,12 @@
 //
 // Endpoints: POST /v1/search (one query), POST /v1/batch (many, one
 // deduplicated pass), POST /v1/stream (NDJSON, one line per outcome in
-// completion order), GET /healthz (flips 503 while draining), GET /statsz
-// (cache layers, executor load, in-flight gauge), and net/http/pprof under
-// /debug/pprof/ when enabled.
+// completion order), POST /v1/ingest (live triple mutations: the batch
+// publishes a new graph epoch without a restart, while in-flight
+// searches finish on the epoch they pinned), GET /healthz (flips 503
+// while draining), GET /statsz (cache layers, executor load, in-flight
+// gauge, graph epoch and overlay/compaction counters), and
+// net/http/pprof under /debug/pprof/ when enabled.
 package server
 
 import (
@@ -181,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/search", s.engineEndpoint(s.handleSearch))
 	mux.Handle("/v1/batch", s.engineEndpoint(s.handleBatch))
 	mux.Handle("/v1/stream", s.engineEndpoint(s.handleStream))
+	mux.Handle("/v1/ingest", s.engineEndpoint(s.handleIngest))
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -277,20 +281,36 @@ type statszResponse struct {
 	MaxInFlight   int            `json:"max_in_flight"`
 	Shed          int64          `json:"shed_total"`
 	Goroutines    int            `json:"goroutines"`
-	Executor      exec.PoolStats `json:"executor"`
-	Cache         qcache.Stats   `json:"cache"`
+	// Live-graph gauges: the current epoch, the overlay's applied
+	// add/delete counts since the last base rebuild, completed rebuilds,
+	// and the last compaction's wall-clock.
+	GraphEpoch       uint64         `json:"graph_epoch"`
+	OverlayAdds      int            `json:"overlay_adds"`
+	OverlayDels      int            `json:"overlay_dels"`
+	BaseRebuilds     uint64         `json:"base_rebuilds"`
+	LastCompactionMS float64        `json:"last_compaction_ms"`
+	Compacting       bool           `json:"compacting"`
+	Executor         exec.PoolStats `json:"executor"`
+	Cache            qcache.Stats   `json:"cache"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	vs := s.eng.VersionStats()
 	writeJSON(w, http.StatusOK, statszResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Draining:      s.draining.Load(),
-		InFlight:      s.inflight.Load(),
-		MaxInFlight:   s.cfg.MaxInFlight,
-		Shed:          s.shed.Load(),
-		Goroutines:    runtime.NumGoroutine(),
-		Executor:      exec.Default().Stats(),
-		Cache:         s.eng.CacheStats(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+		InFlight:         s.inflight.Load(),
+		MaxInFlight:      s.cfg.MaxInFlight,
+		Shed:             s.shed.Load(),
+		Goroutines:       runtime.NumGoroutine(),
+		GraphEpoch:       vs.Epoch,
+		OverlayAdds:      vs.OverlayAdds,
+		OverlayDels:      vs.OverlayDels,
+		BaseRebuilds:     vs.Rebuilds,
+		LastCompactionMS: float64(vs.LastCompaction.Microseconds()) / 1000,
+		Compacting:       vs.Compacting,
+		Executor:         exec.Default().Stats(),
+		Cache:            s.eng.CacheStats(),
 	})
 }
 
@@ -324,7 +344,8 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.As(err, &ue):
 		resp.Missing = ue.Missing
 		writeJSON(w, http.StatusBadRequest, resp)
-	case errors.Is(err, notable.ErrBadQuery), errors.Is(err, notable.ErrEmptyQuery):
+	case errors.Is(err, notable.ErrBadQuery), errors.Is(err, notable.ErrEmptyQuery),
+		errors.Is(err, notable.ErrBadTriple):
 		writeJSON(w, http.StatusBadRequest, resp)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, resp)

@@ -65,6 +65,31 @@
 // counts survive a refinement skip the sampling loop outright.
 // CacheStats exposes hit/miss counters and resident bytes per layer.
 //
+// Cache entries are epoch-keyed: every key derived from graph state
+// folds in the epoch of the view the request pinned, so an entry
+// computed before an ApplyTriples bump is never served after it — a
+// post-mutation query recomputes against the new graph, while re-running
+// a query at an unchanged epoch still pure-hits. A no-op mutation batch
+// keeps the epoch, and compaction keeps it too, so warm caches survive
+// both. The null layer is keyed by the context distribution itself
+// rather than the epoch — a distribution that happens to survive a
+// mutation legitimately reuses its null, since the test depends on
+// nothing else.
+//
+// # Live mutation
+//
+// An Engine's graph is live: ApplyTriples(ctx, adds, dels) applies a
+// triple batch — interning new nodes and labels on first sight — and
+// publishes the result as a new epoch without rebuilding the base CSR
+// or pausing traffic. Requests pin the epoch current when they start
+// and run against it end to end, so concurrent Do/DoBatch/DoStream
+// calls never observe a torn graph; results at any epoch are bitwise
+// identical to a from-scratch engine on the equivalent graph. Past
+// Options.CompactThreshold accumulated changes, a background compactor
+// folds the overlay into a fresh flat base — same epoch, same bits,
+// base-speed reads. Epoch, overlay sizes, and compaction counters are
+// exposed via VersionStats; see docs/mutability.md for the model.
+//
 // # Batching and streaming
 //
 // DoBatch serves many independent queries in one pass over the cold
@@ -113,7 +138,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ctxsel"
@@ -144,6 +171,11 @@ type (
 	Characteristic = core.Characteristic
 	// ContextItem is a scored context node.
 	ContextItem = topk.Item
+	// Triple is one (subject, predicate, object) fact for ApplyTriples.
+	Triple = kg.Triple
+	// VersionStats summarizes the engine's live-graph store: epoch,
+	// overlay triple counts, compaction counters.
+	VersionStats = kg.VersionedStats
 )
 
 // Selector names accepted by Options.Selector.
@@ -176,7 +208,13 @@ type Options struct {
 	// Selector is one of the Selector* constants (default ContextRW).
 	Selector string
 	// Walks is the PathMining budget for ContextRW (default 200000).
+	// Overridable per request via Query.Walks.
 	Walks int
+	// Damping is the RandomWalk selector's PageRank restart parameter c
+	// (default 0.8; the paper also reports 0.2 for the baseline). Only
+	// the randomwalk selector consults it. Overridable per request via
+	// Query.Damping.
+	Damping float64
 	// Alpha is the significance level (default 0.05).
 	Alpha float64
 	// Policy is PolicyStrict or PolicyPooled (default strict).
@@ -230,6 +268,18 @@ type Options struct {
 	// enforcement is exact; see internal/qcache for the (slight) budget
 	// slack sharding introduces.
 	CacheShards int
+	// TypePredicate names the predicate that ApplyTriples routes to node
+	// types instead of edges — it should match the predicate the graph
+	// was loaded with (LoadGraphFile uses "type", the default here).
+	// Set "-" to treat every ingested predicate as an edge label.
+	TypePredicate string
+	// CompactThreshold is the live-ingest overlay size (applied adds +
+	// deletes since the last base CSR) past which a background compactor
+	// folds the overlay into a fresh flat base. 0 selects the kg-level
+	// default (4096); negative disables automatic compaction. Compaction
+	// keeps the epoch and changes no result bits — it only restores
+	// base-speed reads.
+	CompactThreshold int
 }
 
 // DefaultCacheSize is the query-cache capacity used when Options.CacheSize
@@ -254,19 +304,40 @@ const DefaultSeedCacheBytes = 64 << 20
 // bounds the total when set.
 const DefaultNullCacheBytes = 32 << 20
 
-// Engine runs searches against one graph. Create with NewEngine; safe for
-// concurrent use once constructed.
+// Engine runs searches against one live graph. Create with NewEngine;
+// safe for concurrent use once constructed, including concurrent
+// ApplyTriples: every request pins the epoch-stamped view current when
+// it started and runs against it end to end, so a mutation landing
+// mid-request never tears a result.
 type Engine struct {
-	g     *Graph
-	idx   *search.Index
+	vg    *kg.Versioned
+	idx   atomic.Pointer[search.Index]
 	opt   Options
 	cache *qcache.Cache
+	// selMemo caches the request-derived state — epoch tag, wrapped
+	// selector, cache-key prefix — for one (epoch, effective options)
+	// pair, so the steady-state serving path (same options, unchanged
+	// graph) builds no strings per request. Misses (an epoch bump or an
+	// override mix) just rebuild; correctness never depends on a hit.
+	selMemo atomic.Pointer[optState]
 }
 
-// NewEngine prepares an engine (including the entity-name index) for g.
+// optState is one memoized translation of effective options at an epoch.
+type optState struct {
+	epoch uint64
+	opt   Options
+	tag   string
+	sel   ctxsel.Selector
+}
+
+// NewEngine prepares an engine (including the entity-name index) for g,
+// which becomes epoch 0 of the engine's live graph store.
 func NewEngine(g *Graph, opt Options) *Engine {
 	if opt.Seed == 0 {
 		opt.Seed = 1
+	}
+	if opt.TypePredicate == "" {
+		opt.TypePredicate = "type"
 	}
 	size := opt.CacheSize
 	if size == 0 {
@@ -281,8 +352,70 @@ func NewEngine(g *Graph, opt Options) *Engine {
 		}
 		cfg.LayerBudgets[qcache.LayerSeed] = seedBudget
 	}
-	return &Engine{g: g, idx: search.NewIndex(g), opt: opt, cache: qcache.NewSharded(cfg)}
+	typePred := opt.TypePredicate
+	if typePred == "-" {
+		typePred = ""
+	}
+	e := &Engine{
+		vg: kg.NewVersioned(g, kg.VersionedOptions{
+			TypePredicate:    typePred,
+			CompactThreshold: opt.CompactThreshold,
+		}),
+		opt:   opt,
+		cache: qcache.NewSharded(cfg),
+	}
+	e.idx.Store(search.NewIndex(g))
+	return e
 }
+
+// ApplyTriples applies a mutation batch — dels first, then adds — and
+// publishes the result as a new graph epoch, without rebuilding the base
+// CSR or interrupting traffic: requests in flight finish on the epoch
+// they pinned, requests arriving afterwards see the new graph. Deletes
+// remove an edge and its inverse mirror (unknown names and absent edges
+// are no-ops); adds intern new nodes and labels on first sight; triples
+// whose predicate equals Options.TypePredicate assign node types. A
+// batch with no effect keeps the current epoch, so warm caches stay
+// warm. Returns the epoch now current.
+//
+// Results at the new epoch are exactly those of a graph rebuilt from
+// scratch with the mutation applied — cache layers are epoch-keyed, so
+// nothing stale is ever served — and when the accumulated overlay
+// crosses Options.CompactThreshold a background compactor folds it into
+// a fresh base without changing the epoch or any result bits.
+func (e *Engine) ApplyTriples(ctx context.Context, adds, dels []Triple) (uint64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return e.vg.View().Epoch, err
+		}
+	}
+	view, err := e.vg.Apply(adds, dels)
+	if err != nil {
+		return e.vg.View().Epoch, fmt.Errorf("%w: %v", ErrBadTriple, err)
+	}
+	// New nodes need the name index rebuilt so Resolve/Suggest see them.
+	// Names are immutable and IDs append-only, so an index lagging a
+	// node-free mutation stays correct as-is.
+	if idx := e.idx.Load(); idx.NumNodes() < view.G.NumNodes() {
+		e.idx.Store(search.NewIndex(view.G))
+	}
+	return view.Epoch, nil
+}
+
+// Epoch returns the current graph epoch: 0 at construction, +1 per
+// effective ApplyTriples batch.
+func (e *Engine) Epoch() uint64 { return e.vg.View().Epoch }
+
+// VersionStats summarizes the live graph store: current epoch, overlay
+// add/delete counts since the last base rebuild, completed rebuilds, and
+// the last compaction's duration.
+func (e *Engine) VersionStats() VersionStats { return e.vg.Stats() }
+
+// Compact synchronously folds any accumulated overlay into a fresh flat
+// base CSR at the current epoch. Results are unchanged bit for bit;
+// reads return to base speed. Normally the background compactor does
+// this on its own past Options.CompactThreshold.
+func (e *Engine) Compact() { e.vg.Compact() }
 
 // CacheStats reports the query cache's counters, aggregated over all
 // shards and broken down per layer (Stats.Layers): the selector layer
@@ -297,14 +430,17 @@ func NewEngine(g *Graph, opt Options) *Engine {
 // A cache-disabled engine reports zeros.
 func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *Graph { return e.g }
+// Graph returns the engine's current graph — the epoch published by the
+// latest effective ApplyTriples, or the construction graph before any.
+// The returned graph is immutable; later mutations publish new graphs
+// and never touch one already handed out.
+func (e *Engine) Graph() *Graph { return e.vg.View().G }
 
 // Resolve maps entity names (exact or fuzzy) to node IDs. Names that
 // match nothing are reported through an *UnresolvedError carrying the
 // missing names (recover it with errors.As for did-you-mean handling).
 func (e *Engine) Resolve(names ...string) ([]NodeID, error) {
-	ids, missing := e.idx.Resolve(names)
+	ids, missing := e.idx.Load().Resolve(names)
 	if len(missing) > 0 {
 		return ids, &UnresolvedError{Missing: missing}
 	}
@@ -313,7 +449,7 @@ func (e *Engine) Resolve(names ...string) ([]NodeID, error) {
 
 // Suggest returns up to limit candidate entities for a mention.
 func (e *Engine) Suggest(mention string, limit int) []search.Hit {
-	return e.idx.Lookup(mention, limit)
+	return e.idx.Load().Lookup(mention, limit)
 }
 
 // seedCache returns the cache the RandomWalk selector's per-seed PageRank
@@ -326,12 +462,24 @@ func (e *Engine) seedCache() *qcache.Cache {
 	return e.cache
 }
 
+// epochTag renders a view's epoch as the cache tag folded into every
+// graph-derived cache key, so entries computed against one epoch are
+// never served at another.
+func epochTag(view *kg.View) string {
+	return "e" + strconv.FormatUint(view.Epoch, 10)
+}
+
 // selectorFor instantiates the context selector configured by opt — the
-// engine's options with any per-request overrides already applied.
-func (e *Engine) selectorFor(opt Options) ctxsel.Selector {
+// engine's options with any per-request overrides already applied — for
+// the pinned view's epoch tag, which keys the seed-vector cache.
+func (e *Engine) selectorFor(opt Options, tag string) ctxsel.Selector {
 	switch opt.Selector {
 	case SelectorRandomWalk:
-		return ctxsel.RandomWalk{Opt: ppr.Options{SeedCache: e.seedCache()}}
+		return ctxsel.RandomWalk{Opt: ppr.Options{
+			Damping:   opt.Damping,
+			SeedCache: e.seedCache(),
+			CacheTag:  tag,
+		}}
 	case SelectorSimRank:
 		return ctxsel.SimRank{}
 	case SelectorJaccard:
@@ -341,15 +489,38 @@ func (e *Engine) selectorFor(opt Options) ctxsel.Selector {
 	}
 }
 
+// stateFor resolves the memoized request-derived state for opt at view's
+// epoch, rebuilding (and re-memoizing) on any miss.
+func (e *Engine) stateFor(opt Options, view *kg.View) *optState {
+	if st := e.selMemo.Load(); st != nil && st.epoch == view.Epoch && st.opt == opt {
+		return st
+	}
+	tag := epochTag(view)
+	st := &optState{
+		epoch: view.Epoch,
+		opt:   opt,
+		tag:   tag,
+		sel:   e.cachedSelectorFor(e.selectorFor(opt, tag), opt, tag),
+	}
+	e.selMemo.Store(st)
+	return st
+}
+
 // cachedSelector wraps a selector with the engine's query cache. For
 // score-based selectors (ctxsel.Scorer) it memoizes the dense score
 // vector, which subsumes the mined metapaths — a warm hit serves any
 // context size with zero mining or walking. Other selectors memoize the
 // ranked context per (query, k). Queries with duplicate nodes bypass the
 // cache (see qcache.Key).
+//
+// pfx is precomputed from the request's EFFECTIVE options (engine
+// defaults with per-request overrides applied) plus the pinned view's
+// epoch, so a Walks/Damping override or a graph mutation can never
+// collide with entries computed under other settings.
 type cachedSelector struct {
 	e     *Engine
 	inner ctxsel.Selector
+	pfx   string
 }
 
 // Name implements ctxsel.Selector.
@@ -409,9 +580,7 @@ func (cs cachedSelector) SelectCtx(ctx context.Context, g *kg.Graph, query []Nod
 	return items
 }
 
-func (cs cachedSelector) prefix() string {
-	return fmt.Sprintf("%s|w%d|s%d", cs.inner.Name(), cs.e.opt.Walks, cs.e.opt.Seed)
-}
+func (cs cachedSelector) prefix() string { return cs.pfx }
 
 // SelectBatch implements ctxsel.BatchSelector: each query consults the
 // cache first, and only the misses enter the inner selector — batched
@@ -574,26 +743,36 @@ func (cs cachedSelector) SelectStreamBatch(ctx context.Context, g *kg.Graph, que
 }
 
 // cachedSelectorFor wraps sel with the engine cache unless caching is
-// disabled.
-func (e *Engine) cachedSelectorFor(sel ctxsel.Selector) ctxsel.Selector {
+// disabled. The cache-key prefix folds every effective option that can
+// change a score vector — selector, Walks, Damping, Seed — plus the
+// pinned view's epoch tag: a per-request override or an ApplyTriples
+// bump lands in its own key space, while a request whose effective
+// options and epoch match an earlier one (overridden or not) shares its
+// entries.
+func (e *Engine) cachedSelectorFor(sel ctxsel.Selector, opt Options, tag string) ctxsel.Selector {
 	if e.cache == nil {
 		return sel
 	}
-	return cachedSelector{e: e, inner: sel}
+	pfx := fmt.Sprintf("%s|%s|w%d|d%v|s%d",
+		sel.Name(), tag, opt.Walks, opt.Damping, opt.Seed)
+	return cachedSelector{e: e, inner: sel, pfx: pfx}
 }
 
 // coreOptionsFor translates opt — the engine's options with any
 // per-request overrides already applied — into the core pipeline's
-// options. The caches stay engine-level: overrides never fork cache
-// state, they only reconfigure one request's pipeline.
-func (e *Engine) coreOptionsFor(opt Options) core.Options {
+// options, for a request pinned to view. The caches stay engine-level:
+// overrides never fork cache state, they only reconfigure one request's
+// pipeline, and the view's epoch rides in every cache key so entries
+// from different graph versions never mix.
+func (e *Engine) coreOptionsFor(opt Options, view *kg.View) core.Options {
 	policy := dist.UnseenStrict
 	if opt.Policy == PolicyPooled {
 		policy = dist.UnseenPooled
 	}
+	st := e.stateFor(opt, view)
 	return core.Options{
 		ContextSize: opt.ContextSize,
-		Selector:    e.cachedSelectorFor(e.selectorFor(opt)),
+		Selector:    st.sel,
 		Test: stats.Multinomial{
 			Alpha:      opt.Alpha,
 			Seed:       opt.Seed,
@@ -605,6 +784,7 @@ func (e *Engine) coreOptionsFor(opt Options) core.Options {
 		Policy:      policy,
 		Parallelism: opt.Parallelism,
 		Seed:        opt.Seed,
+		CacheTag:    st.tag,
 		TestCache:   e.cache,
 	}
 }
@@ -646,9 +826,11 @@ func (e *Engine) SearchNames(names ...string) (Result, error) {
 	return e.Do(context.Background(), Query{Nodes: query})
 }
 
-// Context returns only the top-k similar nodes for a query.
+// Context returns only the top-k similar nodes for a query, against the
+// current graph epoch.
 func (e *Engine) Context(query []NodeID, k int) []ContextItem {
-	return e.cachedSelectorFor(e.selectorFor(e.opt)).Select(e.g, query, k)
+	view := e.vg.View()
+	return e.stateFor(e.opt, view).sel.Select(view.G, query, k)
 }
 
 // Compare runs only the distribution-comparison stage against an explicit
@@ -670,7 +852,8 @@ func (e *Engine) DoCompare(ctx context.Context, query, contextSet []NodeID, q Qu
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out, err := core.CompareSets(ctx, e.g, query, contextSet, e.coreOptionsFor(e.opt.apply(q)))
+	view := e.vg.View()
+	out, err := core.CompareSets(ctx, view.G, query, contextSet, e.coreOptionsFor(e.opt.apply(q), view))
 	if err != nil {
 		return nil, err
 	}

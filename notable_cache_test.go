@@ -41,7 +41,7 @@ func TestCachedSelectorRunsScoringOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	scoreCalls, selectCalls := 0, 0
-	cs := e.cachedSelectorFor(countingSelector{&scoreCalls, &selectCalls})
+	cs := e.cachedSelectorFor(countingSelector{&scoreCalls, &selectCalls}, e.opt, "e0")
 	a := cs.Select(g, query, 5)
 	b := cs.Select(g, query, 5)
 	// Permuted queries canonicalize to the same entry.
@@ -78,7 +78,7 @@ func TestCachedSelectorBypassesDuplicateQueries(t *testing.T) {
 	}
 	dup := []NodeID{query[0], query[0], query[1]}
 	scoreCalls, selectCalls := 0, 0
-	cs := e.cachedSelectorFor(countingSelector{&scoreCalls, &selectCalls})
+	cs := e.cachedSelectorFor(countingSelector{&scoreCalls, &selectCalls}, e.opt, "e0")
 	cs.Select(g, dup, 5)
 	cs.Select(g, dup, 5)
 	if scoreCalls != 0 || selectCalls != 2 {

@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/kg"
 )
 
 // Query is one request-scoped search: the query nodes plus per-request
@@ -47,6 +48,15 @@ type Query struct {
 	TestSamples int
 	// Parallelism overrides Options.Parallelism when > 0.
 	Parallelism int
+	// Walks overrides Options.Walks when > 0 (the ContextRW selector's
+	// PathMining budget). The override folds into the selector cache key,
+	// so results equal an engine configured with the same Walks — warm or
+	// cold — and never collide with other budgets' entries.
+	Walks int
+	// Damping overrides Options.Damping when > 0 (the RandomWalk
+	// selector's restart parameter, valid in (0, 1)). Folded into the
+	// selector and seed-vector cache keys like Walks.
+	Damping float64
 
 	// Degrade opts this request into deadline-degraded mode: when ctx is
 	// cut (deadline or cancellation) during the comparison stage, Do
@@ -75,6 +85,10 @@ func (q Query) validate() error {
 		return fmt.Errorf("%w: Alpha %v outside (0, 1)", ErrBadQuery, q.Alpha)
 	case q.TestSamples < 0:
 		return fmt.Errorf("%w: TestSamples %d < 0", ErrBadQuery, q.TestSamples)
+	case q.Walks < 0:
+		return fmt.Errorf("%w: Walks %d < 0", ErrBadQuery, q.Walks)
+	case q.Damping != 0 && (q.Damping <= 0 || q.Damping >= 1):
+		return fmt.Errorf("%w: Damping %v outside (0, 1)", ErrBadQuery, q.Damping)
 	}
 	return nil
 }
@@ -98,6 +112,12 @@ func (o Options) apply(q Query) Options {
 	}
 	if q.Parallelism > 0 {
 		o.Parallelism = q.Parallelism
+	}
+	if q.Walks > 0 {
+		o.Walks = q.Walks
+	}
+	if q.Damping > 0 {
+		o.Damping = q.Damping
 	}
 	return o
 }
@@ -142,9 +162,10 @@ func (e *Engine) Do(ctx context.Context, q Query) (Result, error) {
 	if err := q.validate(); err != nil {
 		return Result{}, err
 	}
-	copt := e.coreOptionsFor(e.opt.apply(q))
+	view := e.vg.View() // pin: the whole request runs on this epoch
+	copt := e.coreOptionsFor(e.opt.apply(q), view)
 	copt.Partial = q.Degrade
-	res, err := core.FindNC(ctx, e.g, q.Nodes, copt)
+	res, err := core.FindNC(ctx, view.G, q.Nodes, copt)
 	var pe *core.PartialError
 	if errors.As(err, &pe) {
 		return q.trim(res), &DegradedError{Cause: pe.Cause, Tested: pe.Tested, Total: pe.Total}
@@ -172,13 +193,14 @@ func (e *Engine) DoBatch(ctx context.Context, qs []Query) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	groups, err := e.groupRequests(qs)
+	view := e.vg.View() // pin: every group of the batch runs on this epoch
+	groups, err := e.groupRequests(qs, view)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]Result, len(qs))
 	for _, grp := range groups {
-		rs, err := core.FindNCBatch(ctx, e.g, grp.nodes, grp.copt)
+		rs, err := core.FindNCBatch(ctx, view.G, grp.nodes, grp.copt)
 		if err != nil {
 			return nil, err
 		}
@@ -221,12 +243,13 @@ func (e *Engine) DoStream(ctx context.Context, qs []Query) <-chan Outcome {
 		valid = append(valid, q)
 		origIdx = append(origIdx, i)
 	}
-	groups, _ := e.groupRequests(valid) // already validated: err impossible
+	view := e.vg.View() // pin: the stream's queries all run on this epoch
+	groups, _ := e.groupRequests(valid, view) // already validated: err impossible
 	go func() {
 		defer close(ch)
 		for _, grp := range groups {
 			grp := grp
-			core.FindNCStream(ctx, e.g, grp.nodes, grp.copt, func(j int, res Result, err error) {
+			core.FindNCStream(ctx, view.G, grp.nodes, grp.copt, func(j int, res Result, err error) {
 				i := origIdx[grp.idx[j]]
 				if err == nil {
 					res = qs[i].trim(res)
@@ -255,9 +278,9 @@ type requestGroup struct {
 
 // groupRequests validates qs and partitions it by effective options
 // (first-appearance order, stable within a group) so each partition can
-// share one deduplicated batch pass. TopK never splits a group — it is
-// applied per query after the fact.
-func (e *Engine) groupRequests(qs []Query) ([]*requestGroup, error) {
+// share one deduplicated batch pass, all pinned to the caller's view.
+// TopK never splits a group — it is applied per query after the fact.
+func (e *Engine) groupRequests(qs []Query, view *kg.View) ([]*requestGroup, error) {
 	byOpt := make(map[Options]*requestGroup)
 	var groups []*requestGroup
 	for i, q := range qs {
@@ -267,7 +290,7 @@ func (e *Engine) groupRequests(qs []Query) ([]*requestGroup, error) {
 		eff := e.opt.apply(q)
 		grp := byOpt[eff]
 		if grp == nil {
-			grp = &requestGroup{copt: e.coreOptionsFor(eff)}
+			grp = &requestGroup{copt: e.coreOptionsFor(eff, view)}
 			byOpt[eff] = grp
 			groups = append(groups, grp)
 		}

@@ -41,6 +41,33 @@ esac
 
 STATS=$(curl -sf "http://$ADDR/statsz")
 case "$STATS" in *'"in_flight"'*) ;; *) echo "smoke: bad statsz" >&2; exit 1 ;; esac
+case "$STATS" in
+  *'"graph_epoch":0'*) ;;
+  *) echo "smoke: statsz should start at graph_epoch 0: $STATS" >&2; exit 1 ;;
+esac
+
+# Live ingest: POST a triple batch, require the epoch to advance and the
+# very next search to reflect the new label — no restart in between.
+INGEST=$(curl -sf "http://$ADDR/v1/ingest" -d '{"adds":[
+  {"s":"Angela Merkel","p":"awarded","o":"Nobel Peace Prize"},
+  {"s":"Barack Obama","p":"awarded","o":"Nobel Peace Prize"}]}')
+echo "smoke: ingest -> $INGEST"
+case "$INGEST" in
+  *'"epoch":1'*) ;;
+  *) echo "smoke: ingest did not advance the epoch" >&2; exit 1 ;;
+esac
+
+STATS=$(curl -sf "http://$ADDR/statsz")
+case "$STATS" in
+  *'"graph_epoch":1'*) ;;
+  *) echo "smoke: statsz epoch did not advance: $STATS" >&2; exit 1 ;;
+esac
+
+RESULT=$(curl -sf "http://$ADDR/v1/search" -d '{"entities":["Angela Merkel","Barack Obama"]}')
+case "$RESULT" in
+  *'"label":"awarded"'*) echo "smoke: post-ingest search sees the new label" ;;
+  *) echo "smoke: post-ingest search misses the ingested label: ${RESULT:0:300}" >&2; exit 1 ;;
+esac
 
 # Graceful drain: SIGTERM must end the process with exit 0.
 kill -TERM "$PID"
