@@ -2,6 +2,17 @@
 //
 //	ncserved -dataset yago -addr :8080
 //	ncserved -graph facts.kgsnap -addr :8080 -drain 15s -max-inflight 64
+//	ncserved -dataset yago -wal-dir /var/lib/ncserved/wal
+//
+// With -wal-dir, ingest is durable: every acknowledged /v1/ingest batch
+// is fsync'd to a write-ahead log before the 200 goes out (-wal-sync
+// batch|interval picks per-batch fsync vs. group commit), compactions
+// persist checkpoint snapshots, and a restart over the same directory
+// recovers the exact acknowledged epoch — replaying the log tail over
+// the newest checkpoint, truncating a torn final record, and refusing
+// to start on mid-log corruption rather than silently losing writes.
+// The -graph/-dataset flags then only seed a fresh directory (keep them
+// identical across restarts). See docs/durability.md.
 //
 // Endpoints (see docs/serving.md for bodies and curl examples):
 //
@@ -11,7 +22,8 @@
 //	POST /v1/ingest   live triple adds/deletes; publishes a new graph epoch
 //	GET  /healthz     200 serving / 503 draining
 //	GET  /statsz      cache layers, executor load, in-flight gauge,
-//	                  graph epoch + overlay/compaction counters
+//	                  graph epoch + overlay/compaction counters,
+//	                  WAL/checkpoint gauges under -wal-dir
 //	     /debug/pprof with -pprof
 //
 // SIGTERM or SIGINT begins a graceful drain: the listener closes,
@@ -52,6 +64,9 @@ func main() {
 		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 		maxInflight = flag.Int("max-inflight", 0, "admission gate: concurrent engine requests before shedding (0 = 4x executor workers)")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof")
+		walDir      = flag.String("wal-dir", "", "write-ahead-log directory for durable ingest (empty = in-memory only)")
+		walSync     = flag.String("wal-sync", "batch", "WAL fsync policy: batch (per-ingest fsync) | interval (group commit)")
+		walInterval = flag.Duration("wal-sync-interval", 2*time.Millisecond, "group-commit flush period under -wal-sync interval")
 	)
 	flag.Parse()
 
@@ -60,7 +75,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ncserved:", err)
 		os.Exit(1)
 	}
-	engine := notable.NewEngine(g, notable.Options{
+	opt := notable.Options{
 		ContextSize: *k,
 		Selector:    *selector,
 		Walks:       *walks,
@@ -68,8 +83,26 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallelism,
 		CacheShards: *cacheShards,
-	})
-	fmt.Printf("graph: %s (epoch %d)\n", g.Stats(), engine.Epoch())
+	}
+	var engine *notable.Engine
+	if *walDir != "" {
+		var recov *notable.RecoveryInfo
+		engine, recov, err = notable.NewDurableEngine(g, opt, notable.Durability{
+			WALDir:              *walDir,
+			Sync:                *walSync,
+			GroupCommitInterval: *walInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncserved:", err)
+			os.Exit(1)
+		}
+		defer engine.Close()
+		fmt.Printf("wal: recovered to epoch %d (checkpoint epoch %d, %d record(s) replayed, %d torn-tail byte(s) truncated, %d checkpoint(s) skipped) from %s\n",
+			recov.Epoch, recov.CheckpointEpoch, recov.RecordsReplayed, recov.TruncatedBytes, recov.SkippedCheckpoints, *walDir)
+	} else {
+		engine = notable.NewEngine(g, opt)
+	}
+	fmt.Printf("graph: %s (epoch %d)\n", engine.Graph().Stats(), engine.Epoch())
 	srv := server.New(engine, server.Config{
 		Addr:           *addr,
 		DrainTimeout:   *drain,

@@ -26,6 +26,14 @@ var ErrBadQuery = errors.New("notable: bad query")
 // offending triple; match with errors.Is.
 var ErrBadTriple = errors.New("notable: bad triple")
 
+// ErrDurability is returned by ApplyTriples on a durable engine
+// (NewDurableEngine) when the write-ahead log cannot make the batch
+// durable — a failed append, fsync, or a closed log. The batch was NOT
+// acknowledged: it may already be visible in memory, but it will not
+// survive a restart, and the engine refuses further ingest (reads are
+// unaffected) until restarted over the intact log. Match with errors.Is.
+var ErrDurability = errors.New("notable: durability failure")
+
 // DegradedError reports a request that opted into degraded mode
 // (Query.Degrade) and was cut short by its deadline or cancellation during
 // the comparison stage. The Do call that returned it also returned a

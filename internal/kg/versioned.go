@@ -33,6 +33,16 @@ type VersionedOptions struct {
 	// DefaultCompactThreshold; negative disables automatic compaction
 	// (Compact can still be called explicitly).
 	CompactThreshold int
+	// StartEpoch stamps the initial view (default 0). Recovery passes the
+	// epoch of the checkpoint it restored, so replayed batches republish
+	// the exact epochs they carried when first applied.
+	StartEpoch uint64
+	// OnCompact, when set, is called with the freshly published flat view
+	// after every completed compaction swap (background or explicit),
+	// outside the store's internal lock. Durable engines hang checkpoint
+	// writing off it: a compaction is exactly the moment a flat snapshot
+	// of the current epoch exists.
+	OnCompact func(*View)
 }
 
 // View is one immutable, epoch-stamped snapshot of the graph. Readers
@@ -79,10 +89,11 @@ type Versioned struct {
 	wg          sync.WaitGroup
 }
 
-// NewVersioned wraps base as epoch 0 of a live graph store.
+// NewVersioned wraps base as epoch opt.StartEpoch (0 by default) of a
+// live graph store.
 func NewVersioned(base *Graph, opt VersionedOptions) *Versioned {
 	v := &Versioned{opt: opt}
-	view := &View{Epoch: 0, G: base}
+	view := &View{Epoch: opt.StartEpoch, G: base}
 	if base.ov != nil {
 		view.Adds, view.Dels = base.ov.adds, base.ov.dels
 	}
@@ -173,13 +184,18 @@ func (v *Versioned) maybeCompact(view *View) {
 func (v *Versioned) compactFrom(view *View) {
 	start := time.Now()
 	flat := view.G.Materialize()
+	var published *View
 	v.mu.Lock()
 	if cur := v.cur.Load(); cur.Epoch == view.Epoch && cur.G == view.G {
-		v.cur.Store(&View{Epoch: cur.Epoch, G: flat})
+		published = &View{Epoch: cur.Epoch, G: flat}
+		v.cur.Store(published)
 		v.rebuilds.Add(1)
 		v.lastCompact.Store(int64(time.Since(start)))
 	}
 	v.mu.Unlock()
+	if published != nil && v.opt.OnCompact != nil {
+		v.opt.OnCompact(published)
+	}
 }
 
 // Compact synchronously folds the current overlay into a fresh flat
@@ -202,6 +218,9 @@ func (v *Versioned) Compact() *View {
 			v.rebuilds.Add(1)
 			v.lastCompact.Store(int64(time.Since(start)))
 			v.mu.Unlock()
+			if v.opt.OnCompact != nil {
+				v.opt.OnCompact(nv)
+			}
 			return nv
 		}
 		v.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro"
@@ -282,7 +283,20 @@ func toTriples(ws []wireTriple) []notable.Triple {
 // without interrupting in-flight searches (they finish on the epoch they
 // pinned). Malformed triples reject the whole batch with 400 and leave
 // the graph untouched.
+//
+// A draining server refuses writes outright with 503 + Retry-After:
+// searches in flight get to finish, but a process about to exit must not
+// accept a batch it may never persist (with a WAL the ack would still be
+// honest, but the client should already be talking to a live node).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error:     "draining: not accepting writes",
+			RequestID: requestIDFrom(r.Context()),
+		})
+		return
+	}
 	var req ingestRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, r, err)

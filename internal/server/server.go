@@ -35,9 +35,11 @@
 // deduplicated pass), POST /v1/stream (NDJSON, one line per outcome in
 // completion order), POST /v1/ingest (live triple mutations: the batch
 // publishes a new graph epoch without a restart, while in-flight
-// searches finish on the epoch they pinned), GET /healthz (flips 503
-// while draining), GET /statsz (cache layers, executor load, in-flight
-// gauge, graph epoch and overlay/compaction counters), and
+// searches finish on the epoch they pinned; refused with 503 +
+// Retry-After once draining — a node about to exit takes no new writes),
+// GET /healthz (flips 503 while draining), GET /statsz (cache layers,
+// executor load, in-flight gauge, graph epoch and overlay/compaction
+// counters, WAL/checkpoint gauges on durable engines), and
 // net/http/pprof under /debug/pprof/ when enabled.
 package server
 
@@ -284,18 +286,29 @@ type statszResponse struct {
 	// Live-graph gauges: the current epoch, the overlay's applied
 	// add/delete counts since the last base rebuild, completed rebuilds,
 	// and the last compaction's wall-clock.
-	GraphEpoch       uint64         `json:"graph_epoch"`
-	OverlayAdds      int            `json:"overlay_adds"`
-	OverlayDels      int            `json:"overlay_dels"`
-	BaseRebuilds     uint64         `json:"base_rebuilds"`
-	LastCompactionMS float64        `json:"last_compaction_ms"`
-	Compacting       bool           `json:"compacting"`
+	GraphEpoch       uint64  `json:"graph_epoch"`
+	OverlayAdds      int     `json:"overlay_adds"`
+	OverlayDels      int     `json:"overlay_dels"`
+	BaseRebuilds     uint64  `json:"base_rebuilds"`
+	LastCompactionMS float64 `json:"last_compaction_ms"`
+	Compacting       bool    `json:"compacting"`
+	// Durability gauges (all zero when the engine runs without a WAL):
+	// log size, durable record count, the most recent fsync's duration
+	// (disk-health canary), the newest checkpoint's epoch, and how many
+	// records boot-time recovery replayed.
+	WALEnabled       bool           `json:"wal_enabled"`
+	WALBytes         int64          `json:"wal_bytes"`
+	WALRecords       int64          `json:"wal_records"`
+	WALLastFsyncMS   float64        `json:"wal_last_fsync_ms"`
+	CheckpointEpoch  uint64         `json:"checkpoint_epoch"`
+	RecoveredRecords int            `json:"recovered_records"`
 	Executor         exec.PoolStats `json:"executor"`
 	Cache            qcache.Stats   `json:"cache"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	vs := s.eng.VersionStats()
+	ds := s.eng.DurabilityStats()
 	writeJSON(w, http.StatusOK, statszResponse{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
@@ -309,6 +322,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		BaseRebuilds:     vs.Rebuilds,
 		LastCompactionMS: float64(vs.LastCompaction.Microseconds()) / 1000,
 		Compacting:       vs.Compacting,
+		WALEnabled:       ds.Enabled,
+		WALBytes:         ds.WALBytes,
+		WALRecords:       ds.WALRecords,
+		WALLastFsyncMS:   float64(ds.LastFsync.Microseconds()) / 1000,
+		CheckpointEpoch:  ds.CheckpointEpoch,
+		RecoveredRecords: ds.RecoveredRecords,
 		Executor:         exec.Default().Stats(),
 		Cache:            s.eng.CacheStats(),
 	})

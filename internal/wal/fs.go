@@ -1,0 +1,347 @@
+// The filesystem seam. Every byte the WAL persists flows through an FS,
+// so tests can inject the failures real disks produce — short writes,
+// fsync errors, a process death between write, fsync, and rename — and
+// then prove recovery from the bytes that actually made it to "disk".
+// Production always uses the os-backed implementation.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the subset of *os.File the log needs from an open file.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes the file's written data to stable storage; a record is
+	// considered durable only once its covering Sync has returned.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the directory the WAL lives in. Implementations must make
+// Rename atomic with respect to crashes (rename(2) semantics): recovery
+// depends on a checkpoint or log swap being entirely old or entirely new.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// Truncate cuts name to size bytes (recovery drops a torn tail).
+	Truncate(name string, size int64) error
+	// ReadDir lists the names (not paths) of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames and creates in
+	// it durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+// OSFS returns the os-backed FS the log uses by default.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrInjected is the error every FaultFS-injected failure wraps, and the
+// error every operation after the simulated crash returns.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS with one scheduled fault, after which the
+// filesystem behaves as if the process died: the faulting operation
+// fails (possibly half-done, like a short write), and every subsequent
+// operation fails too, so nothing "after the crash" can leak onto disk.
+// Crash tests then reopen the directory with a clean FS and must recover
+// from exactly the bytes that landed before the fault.
+//
+// Exactly one schedule is active per FaultFS; the zero value injects
+// nothing. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// writeBudget, when ≥ 0, is the number of payload bytes Write may
+	// still persist before the crash: the crashing Write persists the
+	// remaining budget (a short write) and fails.
+	writeBudget int64
+	// syncBudget, when ≥ 0, is the number of Syncs allowed to succeed;
+	// the next one fails without flushing guarantees.
+	syncBudget int
+	// renameBudget, when ≥ 0, counts Renames allowed to succeed; the next
+	// one crashes — before performing the rename when renameAfter is
+	// false, after it succeeded when true (the caller never learns).
+	renameBudget int
+	renameAfter  bool
+	crashed      bool
+}
+
+// NewFaultFS wraps inner (OSFS() when nil) with no fault scheduled.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{inner: inner, writeBudget: -1, syncBudget: -1, renameBudget: -1}
+}
+
+// CrashAfterWriteBytes schedules the crash inside the Write that would
+// exceed n total persisted bytes: it lands as a short write.
+func (f *FaultFS) CrashAfterWriteBytes(n int64) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+	return f
+}
+
+// CrashOnSync schedules the crash on the k-th Sync call (0 = the first).
+func (f *FaultFS) CrashOnSync(k int) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncBudget = k
+	return f
+}
+
+// CrashBeforeRename schedules the crash on the k-th Rename (0 = the
+// first), before it takes effect: the target keeps its old state.
+func (f *FaultFS) CrashBeforeRename(k int) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameBudget, f.renameAfter = k, false
+	return f
+}
+
+// CrashAfterRename schedules the crash on the k-th Rename (0 = the
+// first), after it took effect: the rename is durable but its caller
+// died before learning so.
+func (f *FaultFS) CrashAfterRename(k int) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameBudget, f.renameAfter = k, true
+	return f
+}
+
+// Crashed reports whether the scheduled fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// gate fails once crashed.
+func (f *FaultFS) gate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fmt.Errorf("%w: process crashed", ErrInjected)
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.Open(name)
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: process crashed", ErrInjected)
+	}
+	if f.renameBudget == 0 {
+		f.crashed = true
+		after := f.renameAfter
+		f.mu.Unlock()
+		if after {
+			_ = f.inner.Rename(oldname, newname)
+			return fmt.Errorf("%w: crash after rename %s", ErrInjected, newname)
+		}
+		return fmt.Errorf("%w: crash before rename %s", ErrInjected, newname)
+	}
+	if f.renameBudget > 0 {
+		f.renameBudget--
+	}
+	f.mu.Unlock()
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: process crashed", ErrInjected)
+	}
+	if f.syncBudget == 0 {
+		f.crashed = true
+		f.mu.Unlock()
+		return fmt.Errorf("%w: crash on dir fsync", ErrInjected)
+	}
+	if f.syncBudget > 0 {
+		f.syncBudget--
+	}
+	f.mu.Unlock()
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads a file's writes and syncs through the parent's
+// schedule.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.gate(); err != nil {
+		return 0, err
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: process crashed", ErrInjected)
+	}
+	if ff.fs.writeBudget >= 0 && int64(len(p)) > ff.fs.writeBudget {
+		// The crashing write: persist what the budget allows, then die.
+		short := int(ff.fs.writeBudget)
+		ff.fs.crashed = true
+		ff.fs.mu.Unlock()
+		n, _ := ff.inner.Write(p[:short])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, short, len(p))
+	}
+	if ff.fs.writeBudget >= 0 {
+		ff.fs.writeBudget -= int64(len(p))
+	}
+	ff.fs.mu.Unlock()
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return fmt.Errorf("%w: process crashed", ErrInjected)
+	}
+	if ff.fs.syncBudget == 0 {
+		ff.fs.crashed = true
+		ff.fs.mu.Unlock()
+		return fmt.Errorf("%w: crash on fsync", ErrInjected)
+	}
+	if ff.fs.syncBudget > 0 {
+		ff.fs.syncBudget--
+	}
+	ff.fs.mu.Unlock()
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Closing is allowed after a crash: the test is tearing down, and a
+	// real dead process's descriptors close too.
+	return ff.inner.Close()
+}
+
+// joinPath is filepath.Join, centralized so every implementation agrees
+// on separator handling.
+func joinPath(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// FuzzRecord throws arbitrary bytes at the record decoder and checks its
+// contracts (mirroring internal/ntriples' FuzzReader): it never panics,
+// every failure wraps exactly one of ErrTorn or ErrCorrupt, and a record
+// that decodes must re-encode to the exact frame it came from — the
+// byte-for-byte round trip recovery's truncation arithmetic relies on.
+func FuzzRecord(f *testing.F) {
+	valid := AppendRecord(nil, Record{Epoch: 7,
+		Adds: []kg.Triple{{S: "Angela Merkel", P: "studied", O: "Physics"}},
+		Dels: []kg.Triple{{S: "a", P: "b", O: "c"}}})
+	empty := AppendRecord(nil, Record{Epoch: 1})
+	seeds := [][]byte{
+		valid,
+		empty,
+		append(append([]byte{}, valid...), empty...), // two frames back to back
+		valid[:len(valid)-1],                         // torn CRC
+		valid[:5],                                    // torn payload
+		valid[:3],                                    // torn length prefix
+		{},
+		{0, 0, 0, 0, 0, 0, 0, 0},                   // empty payload, zero CRC
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},          // absurd length prefix
+		{4, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9, 9},       // bad CRC
+		append([]byte{250, 0, 0, 0}, valid[4:]...), // lying length
+	}
+	// Bit-flip corpus: one flipped bit per region of a valid frame.
+	for _, i := range []int{0, 2, 4, 6, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x10
+		seeds = append(seeds, mut)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := ReadRecord(data)
+		if err != nil {
+			torn, corrupt := errors.Is(err, ErrTorn), errors.Is(err, ErrCorrupt)
+			if torn == corrupt {
+				t.Fatalf("error is not exactly one of torn/corrupt (torn=%v corrupt=%v): %v", torn, corrupt, err)
+			}
+			return
+		}
+		if n < frameOverhead || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		back := AppendRecord(nil, rec)
+		if string(back) != string(data[:n]) {
+			t.Fatalf("decode(%x) = %+v, but re-encoding gives %x", data[:n], rec, back)
+		}
+	})
+}

@@ -1,0 +1,720 @@
+// Package wal is the crash-safe, epoch-tagged write-ahead log behind
+// durable ingest: every effective triple batch an engine acknowledges is
+// framed (see record.go), appended to one log file, and fsync'd before
+// the acknowledgement, so process death never silently rewinds the graph
+// past a write a client was told landed.
+//
+// Directory layout (all files under one WAL directory):
+//
+//	wal.log              header ("NCWAL\x00\x01" + uint32 LE version),
+//	                     then CRC32-framed records in epoch order
+//	ckpt-%016x.snap      checkpoints: opaque payloads (a kg snapshot in
+//	                     practice) named by the epoch they capture
+//	*.tmp                in-flight writes; removed on open
+//
+// Durability protocol. Appends go to an append-only handle; a record is
+// acknowledged only after an fsync covering it returns — either inline
+// per batch (SyncEveryBatch) or by the next group-commit tick
+// (SyncEveryInterval), where every append landed since the previous tick
+// rides one fsync. Because records enter the file in epoch order, any
+// fsync durably commits a *prefix* of the epoch sequence: recovery never
+// sees epoch N without N-1.
+//
+// Checkpoints. Checkpoint writes the payload to a temp file, fsyncs it,
+// atomically renames it into place, fsyncs the directory, and only then
+// truncates the log — rewriting it to hold just the records newer than
+// the *previous* checkpoint, so the newest checkpoint plus the log tail
+// always reconstructs the current state, and even if the newest
+// checkpoint is later unreadable the retained older one still can.
+//
+// Recovery (Open) loads the newest checkpoint that validates (the caller
+// verifies payload integrity — kg snapshots carry their own CRC), then
+// scans the log: records at or below the checkpoint epoch are skipped,
+// the rest are returned for replay in order. A final record cut short by
+// a crash (the frame runs past end-of-file) is truncated and reported —
+// its batch was never acknowledged, because its fsync cannot have
+// returned. Anything else wrong — a checksum mismatch, an epoch gap, a
+// bad header — refuses startup with an error wrapping ErrCorrupt:
+// acknowledged writes may be missing, and serving anyway would diverge
+// from what clients were told.
+//
+// Every filesystem touch goes through the FS seam (fs.go), so the
+// fault-injection tests can kill the pipeline between any write, fsync,
+// and rename and prove recovery from the surviving bytes.
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log file identity.
+const (
+	logName    = "wal.log"
+	logMagic   = "NCWAL\x00\x01"
+	logVersion = 1
+	headerLen  = len(logMagic) + 4
+
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// SyncPolicy selects when appended records are fsync'd — which is when
+// their Commit returns and the write may be acknowledged.
+type SyncPolicy int
+
+const (
+	// SyncEveryBatch fsyncs inline on every Commit: minimum loss window,
+	// one fsync per batch (concurrent commits still share one fsync —
+	// whoever syncs first covers everyone written before them).
+	SyncEveryBatch SyncPolicy = iota
+	// SyncEveryInterval group-commits: a background flusher fsyncs at most
+	// once per Options.SyncInterval and every Commit landed since the
+	// previous flush waits for — and shares — that one fsync. Throughput
+	// over latency; the durability contract is unchanged (Commit still
+	// returns only once the record is on disk).
+	SyncEveryInterval
+)
+
+// DefaultSyncInterval is the group-commit flush period when
+// Options.SyncInterval is zero.
+const DefaultSyncInterval = 2 * time.Millisecond
+
+// Options configures a Log.
+type Options struct {
+	// FS is the filesystem seam; nil selects the os-backed one.
+	FS FS
+	// Sync is the fsync policy (default SyncEveryBatch).
+	Sync SyncPolicy
+	// SyncInterval is the group-commit flush period under
+	// SyncEveryInterval (default DefaultSyncInterval).
+	SyncInterval time.Duration
+	// Logf receives recovery and checkpoint log lines (default
+	// log.Printf; tests pass t.Logf or a no-op).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS()
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Recovery summarizes what Open reconstructed: which checkpoint booted
+// the state, the records the caller must replay over it (in epoch
+// order), and what was dropped or skipped along the way.
+type Recovery struct {
+	// HasCheckpoint reports whether a checkpoint was loaded;
+	// CheckpointEpoch is its epoch (0 without one: the caller starts from
+	// its bootstrap state at epoch 0).
+	HasCheckpoint   bool
+	CheckpointEpoch uint64
+	// Records is the log tail to replay: every durable record with epoch
+	// > CheckpointEpoch, ascending and gap-free.
+	Records []Record
+	// TruncatedBytes counts torn-tail bytes dropped from the log's end —
+	// the residue of a crash mid-append, never an acknowledged write.
+	TruncatedBytes int64
+	// SkippedCheckpoints counts checkpoint files that failed to load and
+	// were discarded in favor of an older one.
+	SkippedCheckpoints int
+}
+
+// Stats is a point-in-time summary for observability endpoints.
+type Stats struct {
+	// Bytes is the log file's current size, header included.
+	Bytes int64
+	// Records is the number of valid records currently in the log file
+	// (recovered and appended, minus those dropped by checkpoint
+	// truncation).
+	Records int64
+	// LastFsync is the duration of the most recent fsync (0 before the
+	// first) — the disk-health signal behind the wal_last_fsync_ms gauge.
+	LastFsync time.Duration
+	// CheckpointEpoch is the newest durable checkpoint's epoch (0 when
+	// none exists yet).
+	CheckpointEpoch uint64
+}
+
+// Commit blocks until the record whose Append returned it is durable
+// under the log's sync policy, and reports the outcome. A non-nil error
+// means the record's durability is unknown at best — the log is sticky-
+// failed and every later Append and Commit returns the same error.
+type Commit func() error
+
+// Log is an open write-ahead log. Safe for concurrent use; appends are
+// serialized internally and must arrive in epoch order (the engine's
+// apply lock guarantees it).
+type Log struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         File  // append handle
+	size      int64 // bytes in the log file (valid prefix)
+	synced    int64 // bytes covered by a completed fsync
+	records   int64
+	lastEpoch uint64 // epoch of the newest record (or checkpoint, if newer)
+	ckptEpoch uint64 // newest checkpoint
+	prevCkpt  uint64 // older retained checkpoint: the log's truncation floor
+	lastFsync time.Duration
+	err       error // sticky: first write/fsync/truncate failure
+	closed    bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+	buf       []byte // append encode scratch, guarded by mu
+}
+
+// Open opens (creating if necessary) the WAL in dir and recovers its
+// state. Checkpoints are offered newest-first to load, which must
+// rebuild the caller's state from the payload and return nil only if the
+// payload fully validates (kg.ReadSnapshot's CRC check, in practice); a
+// failing checkpoint is discarded and the next older one tried. The
+// returned Recovery carries the log tail to replay over whatever load
+// accepted (or over the caller's bootstrap state when no checkpoint
+// exists).
+//
+// Open truncates a torn final record, reporting the dropped bytes, and
+// fails with an error wrapping ErrCorrupt on anything worse: a mid-log
+// checksum failure, an epoch gap, a bad header, or a directory whose
+// every checkpoint is unreadable.
+func Open(dir string, opt Options, load func(epoch uint64, payload io.Reader) error) (*Log, Recovery, error) {
+	opt = opt.withDefaults()
+	fs := opt.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+
+	// Sweep in-flight temp files: they are from writes that never renamed
+	// into place, so they were never part of the durable state.
+	var ckptEpochs []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			if err := fs.Remove(joinPath(dir, name)); err != nil {
+				return nil, Recovery{}, fmt.Errorf("wal: removing stale %s: %w", name, err)
+			}
+			continue
+		}
+		if e, ok := parseCkptName(name); ok {
+			ckptEpochs = append(ckptEpochs, e)
+		}
+	}
+	sort.Slice(ckptEpochs, func(i, j int) bool { return ckptEpochs[i] > ckptEpochs[j] })
+
+	var rec Recovery
+	for _, e := range ckptEpochs {
+		if rec.HasCheckpoint {
+			break
+		}
+		path := joinPath(dir, ckptName(e))
+		f, err := fs.Open(path)
+		if err == nil {
+			err = load(e, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			opt.Logf("wal: skipping checkpoint epoch %d: %v", e, err)
+			rec.SkippedCheckpoints++
+			if rerr := fs.Remove(path); rerr != nil {
+				return nil, Recovery{}, fmt.Errorf("wal: removing bad checkpoint: %w", rerr)
+			}
+			continue
+		}
+		rec.HasCheckpoint, rec.CheckpointEpoch = true, e
+	}
+	if !rec.HasCheckpoint && len(ckptEpochs) > 0 {
+		return nil, Recovery{}, fmt.Errorf("%w: all %d checkpoint(s) unreadable", ErrCorrupt, len(ckptEpochs))
+	}
+
+	l := &Log{dir: dir, opt: opt, ckptEpoch: rec.CheckpointEpoch, lastEpoch: rec.CheckpointEpoch}
+	l.cond = sync.NewCond(&l.mu)
+	if rec.HasCheckpoint {
+		// The retained-older-checkpoint floor restarts at the loaded one:
+		// records at or below it were only kept for its sake.
+		l.prevCkpt = rec.CheckpointEpoch
+	}
+	if err := l.recoverLog(&rec); err != nil {
+		return nil, Recovery{}, err
+	}
+	if opt.Sync == SyncEveryInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, rec, nil
+}
+
+// recoverLog scans the log file, truncates a torn tail, validates epoch
+// contiguity, fills rec.Records, and leaves l holding an open append
+// handle positioned after the last valid record.
+func (l *Log) recoverLog(rec *Recovery) error {
+	fs := l.opt.FS
+	path := joinPath(l.dir, logName)
+	data, err := readAll(fs, path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return l.createLog()
+	case err != nil:
+		return fmt.Errorf("wal: reading log: %w", err)
+	}
+	if len(data) < headerLen {
+		// A crash during log creation: nothing durable was ever appended
+		// (the header is fsync'd before the first Append can run), so
+		// rebuild the header rather than refuse.
+		rec.TruncatedBytes += int64(len(data))
+		if err := fs.Remove(path); err != nil {
+			return fmt.Errorf("wal: removing torn log header: %w", err)
+		}
+		return l.createLog()
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return fmt.Errorf("%w: log magic %q, want %q", ErrCorrupt, data[:len(logMagic)], logMagic)
+	}
+	if v := le32(data[len(logMagic):]); v != logVersion {
+		return fmt.Errorf("%w: log version %d, want %d", ErrCorrupt, v, logVersion)
+	}
+
+	off := headerLen
+	prev := uint64(0)
+	for off < len(data) {
+		r, n, err := ReadRecord(data[off:])
+		if errors.Is(err, ErrTorn) {
+			rec.TruncatedBytes += int64(len(data) - off)
+			l.opt.Logf("wal: truncating torn final record: %d byte(s) at offset %d (%v)", len(data)-off, off, err)
+			if terr := fs.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("wal: truncating torn tail: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("record at offset %d: %w", off, err)
+		}
+		if prev != 0 && r.Epoch != prev+1 {
+			return fmt.Errorf("%w: epoch gap in log: %d follows %d", ErrCorrupt, r.Epoch, prev)
+		}
+		prev = r.Epoch
+		off += n
+		l.records++
+		if r.Epoch > rec.CheckpointEpoch {
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	if len(rec.Records) > 0 && rec.Records[0].Epoch != rec.CheckpointEpoch+1 {
+		return fmt.Errorf("%w: replay gap: checkpoint at epoch %d but oldest log record past it is %d",
+			ErrCorrupt, rec.CheckpointEpoch, rec.Records[0].Epoch)
+	}
+	if prev > l.lastEpoch {
+		l.lastEpoch = prev
+	}
+	l.size = int64(off)
+	l.synced = l.size
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: opening log for append: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// createLog writes a fresh header-only log file, durably.
+func (l *Log) createLog() error {
+	fs := l.opt.FS
+	f, err := fs.OpenAppend(joinPath(l.dir, logName))
+	if err != nil {
+		return fmt.Errorf("wal: creating log: %w", err)
+	}
+	hdr := make([]byte, 0, headerLen)
+	hdr = append(hdr, logMagic...)
+	hdr = appendLE32(hdr, logVersion)
+	if _, err := f.Write(hdr); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing log header: %w", err)
+	}
+	if err := fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: fsyncing dir: %w", err)
+	}
+	l.f = f
+	l.size = int64(headerLen)
+	l.synced = l.size
+	return nil
+}
+
+// Append writes rec to the log and returns a Commit that blocks until
+// the record is durable under the sync policy. The record's epoch must
+// be exactly one past the log's newest (checkpoint or record): the log
+// is the serialization of the epoch sequence, and a gap here is an
+// ordering bug upstream, reported loudly rather than persisted.
+//
+// Errors are sticky: after any write or fsync failure the log refuses
+// every further Append with the original error, because a record it
+// could not make durable must not be acknowledged — and later records
+// must not leapfrog it.
+func (l *Log) Append(rec Record) (Commit, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, l.err
+	}
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if rec.Epoch != l.lastEpoch+1 {
+		return nil, fmt.Errorf("wal: out-of-order append: epoch %d after %d", rec.Epoch, l.lastEpoch)
+	}
+	l.buf = AppendRecord(l.buf[:0], rec)
+	n, err := l.f.Write(l.buf)
+	l.size += int64(n)
+	if err == nil && n != len(l.buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		l.fail(fmt.Errorf("wal: appending record (epoch %d): %w", rec.Epoch, err))
+		return nil, l.err
+	}
+	l.records++
+	l.lastEpoch = rec.Epoch
+	end := l.size
+	return func() error { return l.commitWait(end) }, nil
+}
+
+// commitWait blocks until the log's synced watermark covers end.
+func (l *Log) commitWait(end int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opt.Sync == SyncEveryBatch {
+		if l.err == nil && l.synced < end {
+			l.syncLocked()
+		}
+		return l.err
+	}
+	for l.err == nil && l.synced < end && !l.closed {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.synced < end {
+		return ErrClosed
+	}
+	return nil
+}
+
+// syncLocked fsyncs the append handle and advances the watermark.
+// Caller holds l.mu.
+func (l *Log) syncLocked() {
+	start := time.Now()
+	err := l.f.Sync()
+	l.lastFsync = time.Since(start)
+	if err != nil {
+		l.fail(fmt.Errorf("wal: fsync: %w", err))
+		return
+	}
+	l.synced = l.size
+	l.cond.Broadcast()
+}
+
+// fail records the sticky error and wakes every waiter. Caller holds l.mu.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+}
+
+// flusher is the SyncEveryInterval group-commit loop.
+func (l *Log) flusher() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.err == nil && l.synced < l.size {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Checkpoint durably persists a state snapshot for epoch: write writes
+// the payload (a kg snapshot, opaque to the log) to a temp file, which
+// is fsync'd and atomically renamed into place before the log is
+// truncated. Only records newer than the *previous* checkpoint are
+// dropped, and only the two newest checkpoints are retained — so
+// recovery can always fall back one checkpoint without losing replay
+// coverage. A checkpoint at or below the newest one is a no-op (a stale
+// compaction racing a newer one).
+//
+// Safe to call concurrently with Append; the slow payload write happens
+// outside the log lock.
+func (l *Log) Checkpoint(epoch uint64, write func(w io.Writer) error) error {
+	l.mu.Lock()
+	if l.err != nil || l.closed {
+		err := l.err
+		l.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	if epoch <= l.ckptEpoch {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+
+	fs := l.opt.FS
+	final := joinPath(l.dir, ckptName(epoch))
+	tmp := final + tmpSuffix
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint (epoch %d): %w", epoch, err)
+	}
+
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || epoch <= l.ckptEpoch {
+		l.mu.Unlock()
+		_ = fs.Remove(tmp)
+		l.mu.Lock()
+		return nil
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: publishing checkpoint (epoch %d): %w", epoch, err)
+	}
+	if err := fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: fsyncing dir after checkpoint: %w", err)
+	}
+	floor := l.ckptEpoch // the now-second-newest checkpoint: the retention floor
+	l.prevCkpt = floor
+	l.ckptEpoch = epoch
+	if epoch > l.lastEpoch {
+		l.lastEpoch = epoch
+	}
+	// Retention: checkpoints older than the new floor are superseded twice
+	// over; their replay coverage is about to leave the log too.
+	if names, err := fs.ReadDir(l.dir); err == nil {
+		for _, name := range names {
+			if e, ok := parseCkptName(name); ok && e < floor {
+				_ = fs.Remove(joinPath(l.dir, name))
+			}
+		}
+	}
+	if err := l.truncateLocked(floor); err != nil {
+		// The checkpoint itself is durable; a failed truncation only leaves
+		// extra (harmless) records behind, but the log handle's state is no
+		// longer trustworthy — fail sticky and let the operator restart.
+		l.fail(fmt.Errorf("wal: truncating log after checkpoint: %w", err))
+		return l.err
+	}
+	l.opt.Logf("wal: checkpoint at epoch %d (%v); log now %d record(s), %d byte(s)",
+		epoch, time.Since(start).Round(time.Millisecond), l.records, l.size)
+	return nil
+}
+
+// truncateLocked rewrites the log to hold only records with epoch >
+// floor: copy the surviving frames to a temp file, fsync, rename over
+// the log, reopen the append handle. Caller holds l.mu (appends are
+// paused for the duration).
+func (l *Log) truncateLocked(floor uint64) error {
+	fs := l.opt.FS
+	path := joinPath(l.dir, logName)
+	data, err := readAll(fs, path)
+	if err != nil {
+		return err
+	}
+	// The in-memory watermark is authoritative: a concurrent reader (none
+	// today) must never see past l.size.
+	if int64(len(data)) > l.size {
+		data = data[:l.size]
+	}
+	out := make([]byte, 0, headerLen+len(data)/2)
+	out = append(out, logMagic...)
+	out = appendLE32(out, logVersion)
+	kept := int64(0)
+	for off := headerLen; off < len(data); {
+		r, n, err := ReadRecord(data[off:])
+		if err != nil {
+			return fmt.Errorf("reparsing log for truncation at offset %d: %w", off, err)
+		}
+		if r.Epoch > floor {
+			out = append(out, data[off:off+n]...)
+			kept++
+		}
+		off += n
+	}
+	tmp := path + tmpSuffix
+	tf, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = tf.Write(out)
+	if err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(l.dir); err != nil {
+		return err
+	}
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.size = int64(len(out))
+	l.synced = l.size
+	l.records = kept
+	return nil
+}
+
+// Stats summarizes the log for observability.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Bytes:           l.size,
+		Records:         l.records,
+		LastFsync:       l.lastFsync,
+		CheckpointEpoch: l.ckptEpoch,
+	}
+}
+
+// Err returns the sticky failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes any unsynced records and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	if l.err == nil && l.synced < l.size {
+		l.syncLocked()
+	}
+	err := l.err
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+	}
+	return err
+}
+
+// ckptName renders the checkpoint filename for an epoch; fixed-width hex
+// keeps lexical and numeric order identical.
+func ckptName(epoch uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, epoch, ckptSuffix)
+}
+
+// parseCkptName extracts the epoch from a checkpoint filename.
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	hexa := name[len(ckptPrefix) : len(name)-len(ckptSuffix)]
+	if len(hexa) != 16 {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(hexa, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// readAll reads name through fs in full.
+func readAll(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	_, err = io.Copy(&buf, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func appendLE32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

@@ -140,6 +140,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -152,6 +153,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/topk"
+	"repro/internal/wal"
 )
 
 // Re-exported graph types: the kg package is internal, the facade exposes
@@ -314,6 +316,18 @@ type Engine struct {
 	idx   atomic.Pointer[search.Index]
 	opt   Options
 	cache *qcache.Cache
+	// wal is the write-ahead log behind a durable engine (nil otherwise;
+	// see NewDurableEngine). Armed only after recovery replay, so the
+	// replayed batches — already in the log — are not logged again.
+	wal atomic.Pointer[wal.Log]
+	// ingestMu orders durable ingest: the epoch sequence the store
+	// publishes must enter the log in the same order, so Apply and Append
+	// happen under one lock (commit waits happen outside it).
+	ingestMu sync.Mutex
+	// walLogf receives checkpoint-failure lines (durable engines only).
+	walLogf func(format string, args ...any)
+	// recovered is the boot-time replay count, for observability.
+	recovered int
 	// selMemo caches the request-derived state — epoch tag, wrapped
 	// selector, cache-key prefix — for one (epoch, effective options)
 	// pair, so the steady-state serving path (same options, unchanged
@@ -331,8 +345,14 @@ type optState struct {
 }
 
 // NewEngine prepares an engine (including the entity-name index) for g,
-// which becomes epoch 0 of the engine's live graph store.
-func NewEngine(g *Graph, opt Options) *Engine {
+// which becomes epoch 0 of the engine's live graph store. Applied
+// triples live only in memory; NewDurableEngine adds a write-ahead log
+// so acknowledged batches survive process death.
+func NewEngine(g *Graph, opt Options) *Engine { return newEngine(g, opt, 0) }
+
+// newEngine is the shared constructor: g becomes epoch startEpoch of the
+// live store (non-zero only when recovering from a checkpoint).
+func newEngine(g *Graph, opt Options, startEpoch uint64) *Engine {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
@@ -357,13 +377,18 @@ func NewEngine(g *Graph, opt Options) *Engine {
 		typePred = ""
 	}
 	e := &Engine{
-		vg: kg.NewVersioned(g, kg.VersionedOptions{
-			TypePredicate:    typePred,
-			CompactThreshold: opt.CompactThreshold,
-		}),
 		opt:   opt,
 		cache: qcache.NewSharded(cfg),
 	}
+	e.vg = kg.NewVersioned(g, kg.VersionedOptions{
+		TypePredicate:    typePred,
+		CompactThreshold: opt.CompactThreshold,
+		StartEpoch:       startEpoch,
+		// Compaction produces exactly what a checkpoint wants — a flat
+		// graph at a known epoch — so durable engines piggyback on it. A
+		// no-op for non-durable engines (wal stays nil).
+		OnCompact: e.checkpointView,
+	})
 	e.idx.Store(search.NewIndex(g))
 	return e
 }
@@ -383,21 +408,56 @@ func NewEngine(g *Graph, opt Options) *Engine {
 // nothing stale is ever served — and when the accumulated overlay
 // crosses Options.CompactThreshold a background compactor folds it into
 // a fresh base without changing the epoch or any result bits.
+//
+// On a durable engine (NewDurableEngine), an effective batch is appended
+// to the write-ahead log and fsync'd (per the configured sync policy)
+// before ApplyTriples returns: a nil error means the batch survives
+// process death. A WAL failure returns an error wrapping ErrDurability —
+// the in-memory epoch may already include the batch, but it was never
+// acknowledged as durable, and the engine refuses further ingest until
+// restarted (searches continue unharmed).
 func (e *Engine) ApplyTriples(ctx context.Context, adds, dels []Triple) (uint64, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return e.vg.View().Epoch, err
 		}
 	}
+	l := e.wal.Load()
+	var commit wal.Commit
+	if l != nil {
+		e.ingestMu.Lock()
+	}
+	before := e.vg.View().Epoch
 	view, err := e.vg.Apply(adds, dels)
+	if err == nil && l != nil && view.Epoch != before {
+		// Effective batch: log it at its post-apply epoch while still
+		// holding ingestMu, so log order always equals epoch order. The
+		// fsync wait (commit) happens after unlock — concurrent batches
+		// group-commit instead of serializing on the disk.
+		commit, err = l.Append(wal.Record{Epoch: view.Epoch, Adds: adds, Dels: dels})
+		if err != nil {
+			err = fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+	if l != nil {
+		e.ingestMu.Unlock()
+	}
 	if err != nil {
-		return e.vg.View().Epoch, fmt.Errorf("%w: %v", ErrBadTriple, err)
+		if view == nil {
+			return e.vg.View().Epoch, fmt.Errorf("%w: %v", ErrBadTriple, err)
+		}
+		return view.Epoch, err
 	}
 	// New nodes need the name index rebuilt so Resolve/Suggest see them.
 	// Names are immutable and IDs append-only, so an index lagging a
 	// node-free mutation stays correct as-is.
 	if idx := e.idx.Load(); idx.NumNodes() < view.G.NumNodes() {
 		e.idx.Store(search.NewIndex(view.G))
+	}
+	if commit != nil {
+		if cerr := commit(); cerr != nil {
+			return view.Epoch, fmt.Errorf("%w: %v", ErrDurability, cerr)
+		}
 	}
 	return view.Epoch, nil
 }

@@ -78,3 +78,73 @@ if [ "$STATUS" -ne 0 ]; then
   exit 1
 fi
 echo "smoke: clean SIGTERM exit"
+
+# Restart recovery: with -wal-dir, an acknowledged ingest must survive a
+# SIGKILL (no drain, no flush — the process just dies) and reappear when
+# a new process recovers the same directory.
+ADDR2="127.0.0.1:18081"
+WALDIR="$(dirname "$BIN")/wal"
+
+wait_up() { # pid
+  for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR2/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$1" 2>/dev/null; then
+      echo "smoke: durable server died before serving" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "smoke: durable server never came up" >&2
+  exit 1
+}
+
+"$BIN" -dataset figure1 -addr "$ADDR2" -drain 5s -wal-dir "$WALDIR" &
+PID=$!
+wait_up "$PID"
+
+INGEST=$(curl -sf "http://$ADDR2/v1/ingest" -d '{"adds":[
+  {"s":"Angela Merkel","p":"awarded","o":"Nobel Peace Prize"},
+  {"s":"Barack Obama","p":"awarded","o":"Nobel Peace Prize"}]}')
+case "$INGEST" in
+  *'"epoch":1'*) echo "smoke: durable ingest acknowledged" ;;
+  *) echo "smoke: durable ingest did not advance the epoch: $INGEST" >&2; exit 1 ;;
+esac
+STATS=$(curl -sf "http://$ADDR2/statsz")
+case "$STATS" in
+  *'"wal_enabled":true'*) ;;
+  *) echo "smoke: statsz does not report the WAL: $STATS" >&2; exit 1 ;;
+esac
+
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null || true
+echo "smoke: durable server SIGKILLed"
+
+"$BIN" -dataset figure1 -addr "$ADDR2" -drain 5s -wal-dir "$WALDIR" &
+PID=$!
+wait_up "$PID"
+
+STATS=$(curl -sf "http://$ADDR2/statsz")
+case "$STATS" in
+  *'"graph_epoch":1'*) ;;
+  *) echo "smoke: recovered epoch is not 1: $STATS" >&2; exit 1 ;;
+esac
+case "$STATS" in
+  *'"recovered_records":1'*) ;;
+  *) echo "smoke: statsz does not report the replayed record: $STATS" >&2; exit 1 ;;
+esac
+RESULT=$(curl -sf "http://$ADDR2/v1/search" -d '{"entities":["Angela Merkel","Barack Obama"]}')
+case "$RESULT" in
+  *'"label":"awarded"'*) echo "smoke: ingested label survived the kill" ;;
+  *) echo "smoke: recovered search misses the ingested label: ${RESULT:0:300}" >&2; exit 1 ;;
+esac
+
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "smoke: recovered ncserved exited $STATUS after SIGTERM" >&2
+  exit 1
+fi
+echo "smoke: restart-recovery leg passed"
