@@ -3,6 +3,7 @@
 //	ncserved -dataset yago -addr :8080
 //	ncserved -graph facts.kgsnap -addr :8080 -drain 15s -max-inflight 64
 //	ncserved -dataset yago -wal-dir /var/lib/ncserved/wal
+//	ncserved -follow http://primary:8080 -addr :8081
 //
 // With -wal-dir, ingest is durable: every acknowledged /v1/ingest batch
 // is fsync'd to a write-ahead log before the 200 goes out (-wal-sync
@@ -14,13 +15,27 @@
 // The -graph/-dataset flags then only seed a fresh directory (keep them
 // identical across restarts). See docs/durability.md.
 //
+// With -follow, the process is a read replica: it bootstraps from the
+// primary's /v1/repl/snapshot, applies the primary's durable record
+// stream in epoch order, refuses /v1/ingest with 403, and keeps
+// /healthz at 503 ready:false until replay reaches the primary's acked
+// epoch. See docs/replication.md.
+//
+// The listener binds before the engine exists in every mode: a long WAL
+// replay or snapshot download happens behind a 200 /livez and a 503
+// /healthz, so orchestrators see "alive but not ready" instead of a
+// connection refused.
+//
 // Endpoints (see docs/serving.md for bodies and curl examples):
 //
 //	POST /v1/search   one query; degraded 200 under deadline by default
 //	POST /v1/batch    many queries, one deduplicated pass
 //	POST /v1/stream   NDJSON, one line per outcome in completion order
 //	POST /v1/ingest   live triple adds/deletes; publishes a new graph epoch
-//	GET  /healthz     200 serving / 503 draining
+//	GET  /healthz     readiness: 200 serving / 503 booting, catching up,
+//	                  or draining (with current/target epochs)
+//	GET  /livez       liveness: 200 whenever the process can answer
+//	GET  /v1/repl/stream, /v1/repl/snapshot  replication feed (-wal-dir)
 //	GET  /statsz      cache layers, executor load, in-flight gauge,
 //	                  graph epoch + overlay/compaction counters,
 //	                  WAL/checkpoint gauges under -wal-dir
@@ -36,13 +51,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/gen"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -67,14 +85,19 @@ func main() {
 		walDir      = flag.String("wal-dir", "", "write-ahead-log directory for durable ingest (empty = in-memory only)")
 		walSync     = flag.String("wal-sync", "batch", "WAL fsync policy: batch (per-ingest fsync) | interval (group commit)")
 		walInterval = flag.Duration("wal-sync-interval", 2*time.Millisecond, "group-commit flush period under -wal-sync interval")
+		follow      = flag.String("follow", "", "primary base URL to replicate from (follower mode: read-only, in-memory)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *dataset, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ncserved:", err)
+	if *follow != "" && *walDir != "" {
+		fmt.Fprintln(os.Stderr, "ncserved: -follow and -wal-dir are mutually exclusive: a follower's durability is its primary's WAL")
 		os.Exit(1)
 	}
+	if *follow != "" && (*graphPath != "" || *dataset != "") {
+		fmt.Fprintln(os.Stderr, "ncserved: -follow ignores -graph/-dataset: the graph comes from the primary's snapshot")
+		os.Exit(1)
+	}
+
 	opt := notable.Options{
 		ContextSize: *k,
 		Selector:    *selector,
@@ -84,26 +107,7 @@ func main() {
 		Parallelism: *parallelism,
 		CacheShards: *cacheShards,
 	}
-	var engine *notable.Engine
-	if *walDir != "" {
-		var recov *notable.RecoveryInfo
-		engine, recov, err = notable.NewDurableEngine(g, opt, notable.Durability{
-			WALDir:              *walDir,
-			Sync:                *walSync,
-			GroupCommitInterval: *walInterval,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ncserved:", err)
-			os.Exit(1)
-		}
-		defer engine.Close()
-		fmt.Printf("wal: recovered to epoch %d (checkpoint epoch %d, %d record(s) replayed, %d torn-tail byte(s) truncated, %d checkpoint(s) skipped) from %s\n",
-			recov.Epoch, recov.CheckpointEpoch, recov.RecordsReplayed, recov.TruncatedBytes, recov.SkippedCheckpoints, *walDir)
-	} else {
-		engine = notable.NewEngine(g, opt)
-	}
-	fmt.Printf("graph: %s (epoch %d)\n", engine.Graph().Stats(), engine.Epoch())
-	srv := server.New(engine, server.Config{
+	srv := server.NewPending(server.Config{
 		Addr:           *addr,
 		DrainTimeout:   *drain,
 		RequestTimeout: *reqTimeout,
@@ -111,16 +115,90 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInflight,
 		EnablePprof:    *pprofOn,
+		ReadOnly:       *follow != "",
 	})
+	srv.SetReadiness(server.Readiness{Ready: false, Status: "booting"})
 
 	// First signal drains; a second falls through to the default handler
 	// (hard kill) because NotifyContext unregisters on cancellation.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := srv.Run(ctx); err != nil {
+	// Boot failures cancel the serving loop from the boot goroutine.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var durable atomic.Pointer[notable.Engine] // set only when Close matters
+	var bootFailed atomic.Bool
+	if *follow != "" {
+		f, err := repl.NewFollower(repl.FollowerConfig{
+			Primary:  *follow,
+			Options:  opt,
+			OnEngine: srv.SetEngine,
+			OnState: func(st repl.FollowerState) {
+				srv.SetReadiness(server.Readiness{Ready: st.Ready, Status: st.Status, Epoch: st.Epoch, Target: st.Target})
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncserved:", err)
+			os.Exit(1)
+		}
+		go func() { _ = f.Run(ctx) }()
+	} else {
+		go func() {
+			eng, err := bootEngine(*graphPath, *dataset, *seed, opt, *walDir, *walSync, *walInterval)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ncserved:", err)
+				bootFailed.Store(true)
+				cancel()
+				return
+			}
+			if *walDir != "" {
+				durable.Store(eng)
+			}
+			srv.SetEngine(eng)
+			srv.SetReadiness(server.Readiness{Ready: true, Epoch: eng.Epoch()})
+		}()
+	}
+
+	err := srv.Run(ctx)
+	if eng := durable.Load(); eng != nil {
+		eng.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncserved:", err)
 		os.Exit(1)
 	}
+	if bootFailed.Load() {
+		os.Exit(1)
+	}
+}
+
+// bootEngine loads the graph and builds the (possibly durable) engine —
+// the potentially slow part of startup, run behind the live listener.
+func bootEngine(graphPath, dataset string, seed int64, opt notable.Options, walDir, walSync string, walInterval time.Duration) (*notable.Engine, error) {
+	g, err := loadGraph(graphPath, dataset, seed)
+	if err != nil {
+		return nil, err
+	}
+	var engine *notable.Engine
+	if walDir != "" {
+		var recov *notable.RecoveryInfo
+		engine, recov, err = notable.NewDurableEngine(g, opt, notable.Durability{
+			WALDir:              walDir,
+			Sync:                walSync,
+			GroupCommitInterval: walInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wal: recovered to epoch %d (checkpoint epoch %d, %d record(s) replayed, %d torn-tail byte(s) truncated, %d checkpoint(s) skipped) from %s\n",
+			recov.Epoch, recov.CheckpointEpoch, recov.RecordsReplayed, recov.TruncatedBytes, recov.SkippedCheckpoints, walDir)
+	} else {
+		engine = notable.NewEngine(g, opt)
+	}
+	fmt.Printf("graph: %s (epoch %d)\n", engine.Graph().Stats(), engine.Epoch())
+	return engine, nil
 }
 
 // loadGraph mirrors ncsearch: explicit file first, then a built-in

@@ -83,6 +83,11 @@ type DurabilityStats struct {
 	// RecoveredRecords is the boot-time replay count (constant after
 	// construction).
 	RecoveredRecords int
+	// SkippedCheckpoints is the number of unreadable checkpoint files boot
+	// recovery discarded in favor of an older one (constant after
+	// construction). Non-zero means the durability directory is limping —
+	// a signal health probes should see, not just a log line.
+	SkippedCheckpoints int
 }
 
 // NewDurableEngine prepares an engine whose acknowledged ApplyTriples
@@ -163,6 +168,7 @@ func NewDurableEngine(bootstrap *Graph, opt Options, d Durability) (*Engine, *Re
 		e.idx.Store(search.NewIndex(view.G))
 	}
 	e.recovered = len(recov.Records)
+	e.skippedCkpts = recov.SkippedCheckpoints
 	e.wal.Store(l)
 
 	info := &RecoveryInfo{
@@ -219,12 +225,13 @@ func (e *Engine) DurabilityStats() DurabilityStats {
 	}
 	st := l.Stats()
 	return DurabilityStats{
-		Enabled:          true,
-		WALBytes:         st.Bytes,
-		WALRecords:       st.Records,
-		LastFsync:        st.LastFsync,
-		CheckpointEpoch:  st.CheckpointEpoch,
-		RecoveredRecords: e.recovered,
+		Enabled:            true,
+		WALBytes:           st.Bytes,
+		WALRecords:         st.Records,
+		LastFsync:          st.LastFsync,
+		CheckpointEpoch:    st.CheckpointEpoch,
+		RecoveredRecords:   e.recovered,
+		SkippedCheckpoints: e.skippedCkpts,
 	}
 }
 

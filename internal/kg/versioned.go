@@ -227,6 +227,28 @@ func (v *Versioned) Compact() *View {
 	}
 }
 
+// Reset discards the current state and publishes base as a fresh flat
+// view at epoch — a replication follower re-bootstrapping from a new
+// primary snapshot after its stream position was truncated away. The
+// epoch may only move forward: replicas never expose time travel to
+// their readers. Requests that pinned an older view keep it, exactly as
+// with Apply; a background compaction racing the reset discards its
+// rebuild (the epoch/graph identity check in compactFrom fails).
+func (v *Versioned) Reset(base *Graph, epoch uint64) (*View, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur := v.cur.Load()
+	if epoch < cur.Epoch {
+		return nil, fmt.Errorf("kg: reset would rewind epoch %d to %d", cur.Epoch, epoch)
+	}
+	nv := &View{Epoch: epoch, G: base}
+	if base.ov != nil {
+		nv.Adds, nv.Dels = base.ov.adds, base.ov.dels
+	}
+	v.cur.Store(nv)
+	return nv, nil
+}
+
 // WaitCompaction blocks until any in-flight background compaction has
 // finished. Intended for tests and orderly shutdown.
 func (v *Versioned) WaitCompaction() { v.wg.Wait() }

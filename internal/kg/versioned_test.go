@@ -487,3 +487,49 @@ func TestVersionedConcurrentReaders(t *testing.T) {
 	wg.Wait()
 	v.WaitCompaction()
 }
+
+// TestVersionedReset: Reset republishes an arbitrary base at a forward
+// epoch (the replication follower's snapshot-resync path), keeps pinned
+// views untouched, refuses epoch rewinds, and leaves the store applying
+// batches normally afterwards.
+func TestVersionedReset(t *testing.T) {
+	ref := politicsRef()
+	v := NewVersioned(ref.build(), VersionedOptions{TypePredicate: "isA", CompactThreshold: -1})
+	applyOrFatal(t, v, []Triple{{"Merkel", "hasChild", "Nobody"}}, nil)
+	pinned := v.View()
+	if pinned.Epoch != 1 {
+		t.Fatalf("epoch before reset: got %d, want 1", pinned.Epoch)
+	}
+
+	ref2 := politicsRef()
+	ref2.add("Macron", "isA", "politician")
+	ref2.add("Macron", "studied", "Philosophy")
+	nv, err := v.Reset(ref2.build(), 7)
+	if err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if nv.Epoch != 7 {
+		t.Fatalf("epoch after reset: got %d, want 7", nv.Epoch)
+	}
+	requireSameGraph(t, v.View().G, ref2.build())
+
+	// The pinned pre-reset view is immutable: same epoch, same graph.
+	if pinned.Epoch != 1 {
+		t.Fatalf("pinned view's epoch changed to %d", pinned.Epoch)
+	}
+	ref.add("Merkel", "hasChild", "Nobody") // what the pinned view held
+	requireSameGraph(t, pinned.G, ref.build())
+
+	// Epochs only move forward, even through Reset.
+	if _, err := v.Reset(politicsRef().build(), 3); err == nil {
+		t.Fatal("Reset accepted an epoch rewind from 7 to 3")
+	}
+
+	// Post-reset applies continue the new epoch line.
+	view := applyOrFatal(t, v, []Triple{{"Macron", "partyOf", "LREM"}}, nil)
+	if view.Epoch != 8 {
+		t.Fatalf("epoch after post-reset apply: got %d, want 8", view.Epoch)
+	}
+	ref2.add("Macron", "partyOf", "LREM")
+	requireSameGraph(t, view.G, ref2.build())
+}

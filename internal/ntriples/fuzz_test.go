@@ -20,8 +20,8 @@ func FuzzReader(f *testing.F) {
 		"Angela_Merkel\tstudied\tPhysics",
 		"a\tb\tc\nd\te\tf\n",
 		"s\tp\to\textra\tfields",
-		"a\t\tb",          // empty field
-		"only\ttwo",       // short row
+		"a\t\tb",    // empty field
+		"only\ttwo", // short row
 		" padded \t p \t o ",
 		// N-Triples subset.
 		"<s> <p> <o> .",

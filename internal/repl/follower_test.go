@@ -1,0 +1,641 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// ---- shared fleet fixtures ----------------------------------------
+
+func quietf(string, ...any) {}
+
+// fleetGraph is the bootstrap graph every node (and every oracle)
+// starts from.
+func fleetGraph() *notable.Graph {
+	b := notable.NewBuilder(128)
+	leaders := []string{"Angela Merkel", "Barack Obama", "Vladimir Putin",
+		"Matteo Renzi", "François Hollande", "David Cameron", "Xi Jinping"}
+	for i, l := range leaders {
+		b.SetType(l, "politician")
+		b.AddEdge(l, "memberOf", "G20")
+		for d := 1; d <= 3; d++ {
+			b.AddEdge(l, "met", leaders[(i+d)%len(leaders)])
+		}
+		if l == "Angela Merkel" {
+			b.AddEdge(l, "studied", "Physics")
+			continue
+		}
+		b.AddEdge(l, "studied", "Law")
+	}
+	return b.Build()
+}
+
+func fleetOpt() notable.Options {
+	return notable.Options{ContextSize: 6, Walks: 1200, Seed: 3}
+}
+
+// fleetBatch is the i-th ingest batch; every index yields a distinct,
+// effective triple so batch i always publishes epoch i+1.
+func fleetBatch(i int) (adds, dels []notable.Triple) {
+	return []notable.Triple{{S: "Angela Merkel", P: "visited", O: fmt.Sprintf("Country-%d", i)}}, nil
+}
+
+func applyFleetBatches(t *testing.T, eng *notable.Engine, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		adds, dels := fleetBatch(i)
+		if _, err := eng.ApplyTriples(context.Background(), adds, dels); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+}
+
+func durablePrimary(t *testing.T) *notable.Engine {
+	t.Helper()
+	eng, _, err := notable.NewDurableEngine(fleetGraph(), fleetOpt(),
+		notable.Durability{WALDir: t.TempDir(), Logf: quietf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// snapshotBytes captures the primary's replication snapshot as the wire
+// would carry it.
+func snapshotBytes(t *testing.T, eng *notable.Engine) (uint64, []byte) {
+	t.Helper()
+	epoch, rc, err := eng.ReplSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epoch, data
+}
+
+func tailBytes(t *testing.T, eng *notable.Engine, from uint64) []byte {
+	t.Helper()
+	tail, _, err := eng.ReplTail(from)
+	if err != nil {
+		t.Fatalf("ReplTail(%d): %v", from, err)
+	}
+	return tail
+}
+
+// ---- follower state-machine tests against a scripted primary -------
+
+// stateRecorder collects every OnState callback for later assertions.
+type stateRecorder struct {
+	mu     sync.Mutex
+	states []FollowerState
+}
+
+func (sr *stateRecorder) record(st FollowerState) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.states = append(sr.states, st)
+}
+
+func (sr *stateRecorder) sawStatus(status string) bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for _, st := range sr.states {
+		if st.Status == status {
+			return true
+		}
+	}
+	return false
+}
+
+func runFollower(t *testing.T, cfg FollowerConfig) (*Follower, context.CancelFunc) {
+	t.Helper()
+	if cfg.BackoffMin == 0 {
+		cfg.BackoffMin = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 50 * time.Millisecond
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 2 * time.Second
+	}
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = f.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		if eng := f.Engine(); eng != nil {
+			eng.Close()
+		}
+	})
+	return f, cancel
+}
+
+func waitFollowerAt(t *testing.T, f *Follower, epoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := f.State()
+		if st.Ready && st.Epoch >= epoch {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at %+v, want ready at epoch ≥ %d", st, epoch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerResyncOn410: a stream position truncated behind the
+// primary's checkpoints answers 410; the follower must drop to
+// not-ready, re-bootstrap from a fresh snapshot, and come back ready at
+// the new epoch.
+func TestFollowerResyncOn410(t *testing.T) {
+	primary := durablePrimary(t)
+	applyFleetBatches(t, primary, 0, 2)
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap2Epoch, snap2 := snapshotBytes(t, primary)
+	if snap2Epoch != 2 {
+		t.Fatalf("first snapshot at epoch %d, want 2", snap2Epoch)
+	}
+	applyFleetBatches(t, primary, 2, 3) // epochs 3..5
+	tail25 := tailBytes(t, primary, 2)
+	applyFleetBatches(t, primary, 5, 3) // epochs 6..8
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap8Epoch, snap8 := snapshotBytes(t, primary)
+	if snap8Epoch != 8 {
+		t.Fatalf("second snapshot at epoch %d, want 8", snap8Epoch)
+	}
+
+	var snapN, streamN atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if snapN.Add(1) == 1 {
+			w.Header().Set("X-Repl-Epoch", "2")
+			_, _ = w.Write(snap2)
+			return
+		}
+		w.Header().Set("X-Repl-Epoch", "8")
+		_, _ = w.Write(snap8)
+	})
+	mux.HandleFunc("/v1/repl/stream", func(w http.ResponseWriter, r *http.Request) {
+		switch streamN.Add(1) {
+		case 1: // from=2: serve the real tail, then hang up.
+			w.Header().Set("X-Repl-Epoch", "5")
+			_, _ = w.Write(tail25)
+		case 2: // from=5: pretend truncation ate that position.
+			http.Error(w, "position truncated", http.StatusGone)
+		default: // from=8 after resync: caught up, nothing to stream.
+			if got := r.URL.Query().Get("from"); got != "8" {
+				t.Errorf("post-resync stream from=%s, want 8", got)
+			}
+			w.Header().Set("X-Repl-Epoch", "8")
+		}
+	})
+	fake := httptest.NewServer(mux)
+	defer fake.Close()
+
+	rec := &stateRecorder{}
+	f, _ := runFollower(t, FollowerConfig{
+		Primary: fake.URL,
+		Options: fleetOpt(),
+		OnState: rec.record,
+		Logf:    quietf,
+	})
+	waitFollowerAt(t, f, 8)
+	if !rec.sawStatus("resyncing") {
+		t.Fatal("follower never reported the resyncing state on 410")
+	}
+	if got := f.Engine().Epoch(); got != 8 {
+		t.Fatalf("replica engine at epoch %d after resync, want 8", got)
+	}
+}
+
+// TestFollowerDivergenceParksThenResyncs: a logged epoch that does not
+// match the locally published one is divergence — the follower must
+// stop serving (diverged, not ready), then recover through a snapshot
+// resync rather than streaming past the mismatch.
+func TestFollowerDivergenceParksThenResyncs(t *testing.T) {
+	primary := durablePrimary(t)
+	applyFleetBatches(t, primary, 0, 2)
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_, snap2 := snapshotBytes(t, primary)
+	applyFleetBatches(t, primary, 2, 3) // epochs 3..5
+	tail25 := tailBytes(t, primary, 2)
+	applyFleetBatches(t, primary, 5, 3) // epochs 6..8
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_, snap8 := snapshotBytes(t, primary)
+
+	// Relabel the first real record as epoch 9: its batch will publish 3
+	// locally — a mismatch the follower must refuse to serve past.
+	fr := wal.NewFrameReader(bytes.NewReader(tail25))
+	rec3, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badFrame := wal.AppendRecord(nil, wal.Record{Epoch: 9, Adds: rec3.Adds, Dels: rec3.Dels})
+
+	var snapN, streamN atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if snapN.Add(1) == 1 {
+			w.Header().Set("X-Repl-Epoch", "2")
+			_, _ = w.Write(snap2)
+			return
+		}
+		w.Header().Set("X-Repl-Epoch", "8")
+		_, _ = w.Write(snap8)
+	})
+	mux.HandleFunc("/v1/repl/stream", func(w http.ResponseWriter, r *http.Request) {
+		if streamN.Add(1) == 1 {
+			w.Header().Set("X-Repl-Epoch", "9")
+			_, _ = w.Write(badFrame)
+			return
+		}
+		w.Header().Set("X-Repl-Epoch", "8")
+	})
+	fake := httptest.NewServer(mux)
+	defer fake.Close()
+
+	states := &stateRecorder{}
+	f, _ := runFollower(t, FollowerConfig{
+		Primary: fake.URL,
+		Options: fleetOpt(),
+		OnState: states.record,
+		Logf:    quietf,
+	})
+	waitFollowerAt(t, f, 8)
+	if !states.sawStatus("diverged") {
+		t.Fatal("follower never reported divergence on an epoch mismatch")
+	}
+	if got := f.Engine().Epoch(); got != 8 {
+		t.Fatalf("replica engine at epoch %d after divergence resync, want 8", got)
+	}
+}
+
+// ---- real primary + follower serving nodes -------------------------
+
+// replNode is one follower process: a Follower feeding a read-only
+// serving layer, listening on a real (rebindable) address.
+type replNode struct {
+	addr   string
+	f      *Follower
+	srv    *server.Server
+	ts     *httptest.Server
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+	// stall (nanoseconds) delays every HTTP response — the slow-loris /
+	// partition injection: replication keeps running underneath while the
+	// serving socket goes molasses.
+	stall atomic.Int64
+}
+
+// startReplNode boots a follower node against primaryURL. addr may be
+// "127.0.0.1:0" for a fresh port or a previous node's address to model
+// a process restart on the same endpoint.
+func startReplNode(t *testing.T, primaryURL, addr string) *replNode {
+	t.Helper()
+	srv := server.NewPending(server.Config{
+		ReadOnly:     true,
+		MinEpochWait: 200 * time.Millisecond,
+		Logf:         quietf,
+	})
+	srv.SetReadiness(server.Readiness{Ready: false, Status: "booting"})
+	f, err := NewFollower(FollowerConfig{
+		Primary:  primaryURL,
+		Options:  fleetOpt(),
+		OnEngine: srv.SetEngine,
+		OnState: func(st FollowerState) {
+			srv.SetReadiness(server.Readiness{Ready: st.Ready, Status: st.Status, Epoch: st.Epoch, Target: st.Target})
+		},
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+		IdleTimeout: 5 * time.Second,
+		Logf:        quietf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = f.Run(ctx) }()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cancel()
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	n := &replNode{addr: ln.Addr().String(), f: f, srv: srv, cancel: cancel, done: done}
+	inner := srv.Handler()
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Duration(n.stall.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	n.ts = ts
+	t.Cleanup(n.kill)
+	return n
+}
+
+// kill models process death: replication stops, the listener closes,
+// the engine is gone. Idempotent.
+func (n *replNode) kill() {
+	n.once.Do(func() {
+		n.cancel()
+		<-n.done
+		n.ts.Close()
+		if eng := n.f.Engine(); eng != nil {
+			eng.Close()
+		}
+	})
+}
+
+func httpPostBody(t *testing.T, url, body string, hdr map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// normalizeSearch parses a search response and strips the per-request
+// volatile fields (request id, timing); everything left — scores,
+// context, characteristics, epoch — must be bit-identical across
+// replicas at the same epoch.
+func normalizeSearch(t *testing.T, body []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("parsing search response %q: %v", body, err)
+	}
+	delete(m, "request_id")
+	delete(m, "elapsed_ms")
+	return m
+}
+
+const fleetQuery = `{"entities":["Angela Merkel"]}`
+
+// oracleSearch computes the from-scratch answer at epoch: a fresh
+// engine over the bootstrap graph with batches 0..epoch-1 applied,
+// served through the same HTTP layer.
+func oracleSearch(t *testing.T, epoch uint64) map[string]any {
+	t.Helper()
+	eng := notable.NewEngine(fleetGraph(), fleetOpt())
+	defer eng.Close()
+	applyFleetBatches(t, eng, 0, int(epoch))
+	ts := httptest.NewServer(server.New(eng, server.Config{Logf: quietf}).Handler())
+	defer ts.Close()
+	status, _, body := httpPostBody(t, ts.URL+"/v1/search", fleetQuery, nil)
+	if status != http.StatusOK {
+		t.Fatalf("oracle search at epoch %d: status %d: %s", epoch, status, body)
+	}
+	return normalizeSearch(t, body)
+}
+
+// TestFollowerCatchesUpLiveAndRejoins is the tentpole's single-node
+// correctness path: a follower bootstraps from the primary's snapshot,
+// tracks live ingests through the stream, and — after being killed
+// while the primary moves on and truncates its log — a restart on the
+// same address rejoins via snapshot + stream to the exact head epoch
+// with bit-identical answers.
+func TestFollowerCatchesUpLiveAndRejoins(t *testing.T) {
+	primary := durablePrimary(t)
+	applyFleetBatches(t, primary, 0, 3)
+	psrv := httptest.NewServer(server.New(primary, server.Config{Logf: quietf}).Handler())
+	// Cleanup, not defer: follower nodes register their kills later, so
+	// LIFO ordering tears them (and their live stream connections) down
+	// before the primary's server waits out its connections.
+	t.Cleanup(psrv.Close)
+
+	n1 := startReplNode(t, psrv.URL, "127.0.0.1:0")
+	waitFollowerAt(t, n1.f, 3)
+
+	// Liveness vs readiness on the follower's own serving surface.
+	hstatus, _, hbody := func() (int, http.Header, []byte) {
+		resp, err := http.Get(n1.ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, b
+	}()
+	if hstatus != http.StatusOK {
+		t.Fatalf("ready follower healthz %d: %s", hstatus, hbody)
+	}
+	_ = hbody
+
+	// A live ingest on the primary shows up on the follower.
+	applyFleetBatches(t, primary, 3, 1)
+	waitFollowerAt(t, n1.f, 4)
+	_, _, pbody := httpPostBody(t, psrv.URL+"/v1/search", fleetQuery, nil)
+	fstatus, _, fbody := httpPostBody(t, n1.ts.URL+"/v1/search", fleetQuery, map[string]string{"X-Min-Epoch": "4"})
+	if fstatus != http.StatusOK {
+		t.Fatalf("follower search: status %d: %s", fstatus, fbody)
+	}
+	if got, want := normalizeSearch(t, fbody), normalizeSearch(t, pbody); !reflect.DeepEqual(got, want) {
+		t.Fatalf("follower answer differs from primary at epoch 4:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Kill the follower; the primary moves on and truncates the log
+	// behind its checkpoints, so the rejoin MUST go through a snapshot.
+	n1.kill()
+	applyFleetBatches(t, primary, 4, 2) // epochs 5,6
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	applyFleetBatches(t, primary, 6, 1) // epoch 7
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	applyFleetBatches(t, primary, 7, 1) // epoch 8, streamed past the snapshot
+
+	n2 := startReplNode(t, psrv.URL, n1.addr)
+	waitFollowerAt(t, n2.f, 8)
+	if got, want := n2.f.State().Epoch, primary.Epoch(); got != want {
+		t.Fatalf("rejoined follower at epoch %d, primary at %d", got, want)
+	}
+	fstatus, _, fbody = httpPostBody(t, n2.ts.URL+"/v1/search", fleetQuery, map[string]string{"X-Min-Epoch": "8"})
+	if fstatus != http.StatusOK {
+		t.Fatalf("rejoined follower search: status %d: %s", fstatus, fbody)
+	}
+	got := normalizeSearch(t, fbody)
+	if want := oracleSearch(t, 8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rejoined follower differs from from-scratch oracle at epoch 8:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFailoverMatrix is the acceptance scenario: a 3-replica fleet
+// (durable primary + two followers) behind the router, with ingests and
+// min-epoch reads flowing while one follower is killed mid-loop and
+// later restarted on the same address. Every 200 must bitwise-match a
+// from-scratch engine at its published epoch, every published epoch
+// must honor the request's min-epoch floor, and the killed follower
+// must rejoin to the exact head epoch.
+func TestFailoverMatrix(t *testing.T) {
+	primary := durablePrimary(t)
+	psrv := httptest.NewServer(server.New(primary, server.Config{Logf: quietf}).Handler())
+	t.Cleanup(psrv.Close) // before the nodes: their kills must run first
+	f1 := startReplNode(t, psrv.URL, "127.0.0.1:0")
+	f2 := startReplNode(t, psrv.URL, "127.0.0.1:0")
+
+	rt, err := NewRouter(RouterConfig{
+		Backends: []Backend{
+			{Name: "primary", URL: psrv.URL},
+			{Name: "f1", URL: "http://" + f1.addr},
+			{Name: "f2", URL: "http://" + f2.addr},
+		},
+		Primary:         "primary",
+		ProbeInterval:   25 * time.Millisecond,
+		FailWindow:      2,
+		TryTimeout:      500 * time.Millisecond,
+		HedgeAfter:      75 * time.Millisecond,
+		BreakerFails:    3,
+		BreakerCooldown: 150 * time.Millisecond,
+		Logf:            quietf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt.Start(ctx)
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	var minEpoch uint64
+	ingest := func(i int) {
+		t.Helper()
+		adds, _ := fleetBatch(i)
+		body := fmt.Sprintf(`{"adds":[{"s":%q,"p":%q,"o":%q}]}`, adds[0].S, adds[0].P, adds[0].O)
+		status, _, resp := httpPostBody(t, rts.URL+"/v1/ingest", body, nil)
+		if status != http.StatusOK {
+			t.Fatalf("ingest %d through router: status %d: %s", i, status, resp)
+		}
+		var out struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := json.Unmarshal(resp, &out); err != nil || out.Epoch == 0 {
+			t.Fatalf("ingest %d response %q: %v", i, resp, err)
+		}
+		minEpoch = out.Epoch
+	}
+
+	type observed struct {
+		epoch uint64
+		body  map[string]any
+		via   string
+	}
+	var seen []observed
+	search := func(iter int) {
+		t.Helper()
+		status, hdr, body := httpPostBody(t, rts.URL+"/v1/search", fleetQuery,
+			map[string]string{"X-Min-Epoch": fmt.Sprintf("%d", minEpoch)})
+		if status != http.StatusOK {
+			t.Fatalf("iter %d: search through router failed: status %d: %s", iter, status, body)
+		}
+		m := normalizeSearch(t, body)
+		epoch, ok := m["epoch"].(float64)
+		if !ok {
+			t.Fatalf("iter %d: search response has no epoch: %v", iter, m)
+		}
+		if uint64(epoch) < minEpoch {
+			t.Fatalf("iter %d: served epoch %d below the min-epoch floor %d (via %s)",
+				iter, uint64(epoch), minEpoch, hdr.Get("X-Served-By"))
+		}
+		seen = append(seen, observed{epoch: uint64(epoch), body: m, via: hdr.Get("X-Served-By")})
+	}
+
+	batchIdx := 0
+	restarted := (*replNode)(nil)
+	for iter := 0; iter < 12; iter++ {
+		if iter%3 == 0 {
+			ingest(batchIdx)
+			batchIdx++
+		}
+		switch iter {
+		case 2:
+			// Slow-loris f2: replication keeps running, but its serving
+			// socket answers slower than the router's per-try timeout.
+			f2.stall.Store(int64(2 * time.Second))
+		case 4:
+			f1.kill() // mid-loop: connection-refused territory for router and probes
+		case 6:
+			f2.stall.Store(0) // partition heals
+		case 8:
+			restarted = startReplNode(t, psrv.URL, f1.addr)
+		}
+		search(iter)
+	}
+
+	// The restarted follower must catch up to the exact head epoch.
+	head := primary.Epoch()
+	waitFollowerAt(t, restarted.f, head)
+	if got := restarted.f.State().Epoch; got != head {
+		t.Fatalf("restarted follower at epoch %d, head is %d", got, head)
+	}
+	waitFollowerAt(t, f2.f, head)
+
+	// Every 200 the router produced must bitwise-match a from-scratch
+	// engine at its published epoch.
+	oracles := map[uint64]map[string]any{}
+	for _, o := range seen {
+		if _, ok := oracles[o.epoch]; !ok {
+			oracles[o.epoch] = oracleSearch(t, o.epoch)
+		}
+		if !reflect.DeepEqual(o.body, oracles[o.epoch]) {
+			t.Fatalf("response served by %s at epoch %d differs from the from-scratch oracle:\n got %+v\nwant %+v",
+				o.via, o.epoch, o.body, oracles[o.epoch])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -74,6 +75,12 @@ type wireCharacteristic struct {
 // searchResponse is one completed (or degraded) search on the wire.
 type searchResponse struct {
 	RequestID string `json:"request_id,omitempty"`
+	// Epoch is a floor on the graph epoch this result was computed at:
+	// the engine's epoch read just before the search pinned its view (the
+	// pinned epoch is ≥ it, and ≥ any X-Min-Epoch the request carried).
+	// Clients thread it back as X-Min-Epoch for read-your-writes across
+	// replicas.
+	Epoch uint64 `json:"epoch"`
 	// Degraded marks a deadline-cut result: Characteristics holds the
 	// labels tested before the cut (Tested of Total), a prefix-consistent
 	// subset of the full report.
@@ -88,7 +95,9 @@ type searchResponse struct {
 
 // batchResponse is the /v1/batch answer: one entry per query, in order.
 type batchResponse struct {
-	RequestID string           `json:"request_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// Epoch is the batch-wide floor (see searchResponse.Epoch).
+	Epoch     uint64           `json:"epoch"`
 	ElapsedMS float64          `json:"elapsed_ms"`
 	Results   []searchResponse `json:"results"`
 }
@@ -104,8 +113,9 @@ type streamOutcome struct {
 // toQuery resolves a wireQuery into a notable.Query: entity names through
 // the engine's fuzzy resolver, raw node ids validated against the graph.
 func (s *Server) toQuery(wq wireQuery) (notable.Query, error) {
+	eng := s.engine()
 	nodes := make([]notable.NodeID, 0, len(wq.Nodes)+len(wq.Entities))
-	numNodes := s.eng.Graph().NumNodes()
+	numNodes := eng.Graph().NumNodes()
 	for _, id := range wq.Nodes {
 		if int(id) >= numNodes {
 			return notable.Query{}, badRequestf("node id %d out of range (graph has %d nodes)", id, numNodes)
@@ -113,7 +123,7 @@ func (s *Server) toQuery(wq wireQuery) (notable.Query, error) {
 		nodes = append(nodes, id)
 	}
 	if len(wq.Entities) > 0 {
-		resolved, err := s.eng.Resolve(wq.Entities...)
+		resolved, err := eng.Resolve(wq.Entities...)
 		if err != nil {
 			return notable.Query{}, err
 		}
@@ -135,11 +145,13 @@ func (s *Server) toQuery(wq wireQuery) (notable.Query, error) {
 	}, nil
 }
 
-// toResponse flattens a result for the wire. de is nil for a full result.
-func (s *Server) toResponse(res notable.Result, de *notable.DegradedError, elapsed time.Duration, rid string) searchResponse {
-	g := s.eng.Graph()
+// toResponse flattens a result for the wire. de is nil for a full
+// result; epoch is the floor read before the search pinned its view.
+func (s *Server) toResponse(res notable.Result, de *notable.DegradedError, elapsed time.Duration, rid string, epoch uint64) searchResponse {
+	g := s.engine().Graph()
 	out := searchResponse{
 		RequestID: rid,
+		Epoch:     epoch,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		Tested:    len(res.Characteristics),
 		Total:     len(res.Characteristics),
@@ -173,6 +185,56 @@ func (s *Server) toResponse(res notable.Result, de *notable.DegradedError, elaps
 	return out
 }
 
+// awaitMinEpoch enforces a request's X-Min-Epoch header — the
+// read-your-writes floor a client (or the router, on its behalf) sets
+// from a previous write's acked epoch. A replica already at or past the
+// floor proceeds immediately; one behind it waits up to
+// Config.MinEpochWait for replay to catch up, then answers 503 with
+// Retry-After and X-Replica-Epoch so the router retries a replica that
+// is caught up. Returns false when it wrote the response itself.
+func (s *Server) awaitMinEpoch(w http.ResponseWriter, r *http.Request, eng *notable.Engine) bool {
+	h := r.Header.Get("X-Min-Epoch")
+	if h == "" {
+		return true
+	}
+	min, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		s.writeError(w, r, badRequestf("bad X-Min-Epoch %q: %v", h, err))
+		return false
+	}
+	if eng.Epoch() >= min {
+		return true
+	}
+	// Poll rather than subscribe: a replica's epoch advances from its
+	// follower loop, and 5ms granularity is far below any client-visible
+	// latency bound while keeping the engine seam untouched.
+	deadline := time.Now().Add(s.cfg.MinEpochWait)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			s.writeError(w, r, r.Context().Err())
+			return false
+		case <-tick.C:
+		}
+		if eng.Epoch() >= min {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	cur := eng.Epoch()
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	w.Header().Set("X-Replica-Epoch", strconv.FormatUint(cur, 10))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:     fmt.Sprintf("replica at epoch %d, behind requested minimum %d", cur, min),
+		RequestID: requestIDFrom(r.Context()),
+	})
+	return false
+}
+
 // handleSearch serves POST /v1/search: one query under one deadline,
 // degraded by default rather than erroring when the deadline lands in the
 // comparison stage.
@@ -187,16 +249,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	eng := s.engine()
+	if !s.awaitMinEpoch(w, r, eng) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
+	// The epoch floor travels in the response: Do pins a view at least
+	// this new (epochs only grow), so the result is correct at some epoch
+	// ≥ floor ≥ the request's min epoch.
+	floor := eng.Epoch()
 	start := time.Now()
-	res, err := s.eng.Do(ctx, q)
+	res, err := eng.Do(ctx, q)
 	var de *notable.DegradedError
 	if err != nil && !errors.As(err, &de) {
 		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.toResponse(res, de, time.Since(start), requestIDFrom(r.Context())))
+	writeJSON(w, http.StatusOK, s.toResponse(res, de, time.Since(start), requestIDFrom(r.Context()), floor))
 }
 
 // handleBatch serves POST /v1/batch: the whole batch in one deduplicated
@@ -220,20 +290,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = q
 	}
+	eng := s.engine()
+	if !s.awaitMinEpoch(w, r, eng) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
+	floor := eng.Epoch()
 	start := time.Now()
-	results, err := s.eng.DoBatch(ctx, qs)
+	results, err := eng.DoBatch(ctx, qs)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
 	elapsed := time.Since(start)
 	rid := requestIDFrom(r.Context())
-	resp := batchResponse{RequestID: rid, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	resp := batchResponse{RequestID: rid, Epoch: floor, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
 	resp.Results = make([]searchResponse, len(results))
 	for i, res := range results {
-		resp.Results[i] = s.toResponse(res, nil, elapsed, "")
+		resp.Results[i] = s.toResponse(res, nil, elapsed, "", floor)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -289,14 +364,25 @@ func toTriples(ws []wireTriple) []notable.Triple {
 // accept a batch it may never persist (with a WAL the ack would still be
 // honest, but the client should already be talking to a live node).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeJSON(w, http.StatusForbidden, errorResponse{
+			Error:     "read-only replica: ingest goes to the primary",
+			RequestID: requestIDFrom(r.Context()),
+		})
+		return
+	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		// The honest hint: this listener is gone once the drain budget runs
+		// out, so that (plus jitter, so a fleet of retriers spreads out) is
+		// the soonest a retry against this address can land.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.drainRetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 			Error:     "draining: not accepting writes",
 			RequestID: requestIDFrom(r.Context()),
 		})
 		return
 	}
+	eng := s.engine()
 	var req ingestRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, r, err)
@@ -309,12 +395,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
 	start := time.Now()
-	epoch, err := s.eng.ApplyTriples(ctx, toTriples(req.Adds), toTriples(req.Dels))
+	epoch, err := eng.ApplyTriples(ctx, toTriples(req.Adds), toTriples(req.Dels))
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	st := s.eng.VersionStats()
+	st := eng.VersionStats()
 	writeJSON(w, http.StatusOK, ingestResponse{
 		RequestID:   requestIDFrom(r.Context()),
 		Epoch:       epoch,
@@ -348,20 +434,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = q
 	}
+	eng := s.engine()
+	if !s.awaitMinEpoch(w, r, eng) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
 
+	floor := eng.Epoch()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w) // Encode appends the NDJSON newline
 	start := time.Now()
-	for o := range s.eng.DoStream(ctx, qs) {
+	for o := range eng.DoStream(ctx, qs) {
 		line := streamOutcome{Index: o.Index}
 		if o.Err != nil {
 			line.Error = o.Err.Error()
 		} else {
-			resp := s.toResponse(o.Result, nil, time.Since(start), "")
+			resp := s.toResponse(o.Result, nil, time.Since(start), "", floor)
 			line.Result = &resp
 		}
 		if err := enc.Encode(line); err != nil {

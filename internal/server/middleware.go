@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
-	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -123,13 +122,24 @@ func (s *Server) engineEndpoint(h http.HandlerFunc) http.Handler {
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", RequestID: requestIDFrom(r.Context())})
 			return
 		}
+		// A pending server (engine still booting — WAL replay, snapshot
+		// download) sheds engine traffic immediately: /healthz already says
+		// not-ready, this is the backstop for clients that skipped it.
+		if s.engine() == nil {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error:     "booting: engine not ready",
+				RequestID: requestIDFrom(r.Context()),
+			})
+			return
+		}
 		// Admission: non-blocking acquire. Shedding before reading the body
 		// keeps the rejection cost flat however large the overload.
 		select {
 		case s.admit <- struct{}{}:
 		default:
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error:     "overloaded, retry later",
 				RequestID: requestIDFrom(r.Context()),

@@ -1,0 +1,197 @@
+// The primary side of replication on the wire: two GET endpoints a
+// follower drives its whole lifecycle from.
+//
+//	GET /v1/repl/snapshot          the newest durable checkpoint (or a
+//	                               snapshot of the live view when none
+//	                               exists yet), X-Repl-Epoch = its epoch
+//	GET /v1/repl/stream?from=N     chunked live tail: every durable WAL
+//	                               record with epoch > N, as the same
+//	                               CRC32 frames the log holds on disk,
+//	                               then heartbeats + new records as they
+//	                               become durable. X-Repl-Epoch = the
+//	                               durable epoch at connect — the floor a
+//	                               bootstrapping follower must reach
+//	                               before calling itself ready.
+//
+// Statuses a follower must handle: 410 Gone (the requested position was
+// truncated behind a checkpoint — re-bootstrap from the snapshot), 409
+// Conflict (the follower claims epochs the primary never made durable —
+// divergence, a rebuilt or rolled-back primary), 503 (booting or not a
+// durable engine). Streams terminate silently on drain; the follower
+// reconnects with backoff.
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/wal"
+)
+
+// replHeartbeatInterval is how often an idle stream emits a keepalive
+// frame so a follower can tell a quiet primary from a dead connection.
+const replHeartbeatInterval = 2 * time.Second
+
+// replGuard does the shared precondition checks of both repl endpoints:
+// GET only, engine present. Returns nil after writing the response when
+// the request cannot be served.
+func (s *Server) replGuard(w http.ResponseWriter, r *http.Request) *notable.Engine {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only", RequestID: requestIDFrom(r.Context())})
+		return nil
+	}
+	eng := s.engine()
+	if eng == nil {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error:     "booting: engine not ready",
+			RequestID: requestIDFrom(r.Context()),
+		})
+		return nil
+	}
+	return eng
+}
+
+// handleReplSnapshot serves the bootstrap payload: the graph snapshot a
+// follower loads before streaming the tail from X-Repl-Epoch.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	eng := s.replGuard(w, r)
+	if eng == nil {
+		return
+	}
+	epoch, rc, err := eng.ReplSnapshot()
+	if err != nil {
+		s.writeReplError(w, r, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Repl-Epoch", strconv.FormatUint(epoch, 10))
+	w.WriteHeader(http.StatusOK)
+	// A copy error mid-body means the follower disconnected or the disk
+	// died under us; either way the status is sent and the follower's
+	// snapshot CRC check catches a short read.
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// handleReplStream serves the live tail from ?from=EPOCH: everything
+// durable past it immediately, then records as they become durable,
+// with heartbeats in the gaps. The stream ends when the client goes
+// away, the server drains, or the WAL fails; the follower reconnects
+// from wherever it got to.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	eng := s.replGuard(w, r)
+	if eng == nil {
+		return
+	}
+	from := uint64(0)
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			s.writeError(w, r, badRequestf("bad from epoch %q: %v", q, err))
+			return
+		}
+		from = v
+	}
+
+	// First read before committing a status: position errors (Gone,
+	// divergence) must reach the follower as statuses, not dropped
+	// connections.
+	tail, durable, err := eng.ReplTail(from)
+	if err != nil {
+		s.writeReplError(w, r, err)
+		return
+	}
+	if from > durable {
+		w.Header().Set("X-Repl-Epoch", strconv.FormatUint(durable, 10))
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:     "follower ahead of primary: durable epoch " + strconv.FormatUint(durable, 10) + " < requested " + strconv.FormatUint(from, 10),
+			RequestID: requestIDFrom(r.Context()),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Repl-Epoch", strconv.FormatUint(durable, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if _, werr := w.Write(tail); werr != nil {
+		return
+	}
+	flush()
+	next := durable
+
+	heartbeat := time.NewTicker(replHeartbeatInterval)
+	defer heartbeat.Stop()
+	for {
+		// Subscribe BEFORE reading the tail: an advance landing between the
+		// read and the select has already closed this channel, so the select
+		// wakes immediately instead of sleeping through it.
+		changed, cerr := eng.ReplChanged()
+		if cerr != nil {
+			return
+		}
+		tail, durable, err = eng.ReplTail(next)
+		if err != nil {
+			// Mid-stream the status is spent; cut the connection and let the
+			// follower's reconnect see the real error as a status.
+			return
+		}
+		if len(tail) > 0 {
+			if _, werr := w.Write(tail); werr != nil {
+				return
+			}
+			flush()
+			next = durable
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			// Drain: end the stream now so Shutdown's in-flight wait is not
+			// held hostage by live tails. The follower re-streams elsewhere
+			// (or here, after restart) from wherever it got to.
+			return
+		case <-heartbeat.C:
+			if _, werr := w.Write(wal.HeartbeatFrame()); werr != nil {
+				return
+			}
+			flush()
+		case <-changed:
+		}
+	}
+}
+
+// writeReplError maps replication-seam errors onto statuses the
+// follower's state machine keys off.
+func (s *Server) writeReplError(w http.ResponseWriter, r *http.Request, err error) {
+	resp := errorResponse{Error: err.Error(), RequestID: requestIDFrom(r.Context())}
+	switch {
+	case errors.Is(err, notable.ErrEpochTruncated):
+		writeJSON(w, http.StatusGone, resp)
+	case errors.Is(err, notable.ErrNotDurable):
+		// Not a replication primary (no WAL): a topology misconfiguration.
+		writeJSON(w, http.StatusNotImplemented, resp)
+	default:
+		writeJSON(w, http.StatusInternalServerError, resp)
+	}
+}

@@ -45,16 +45,19 @@ package server
 
 import (
 	"context"
-	"crypto/rand"
+	crand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -88,6 +91,14 @@ type Config struct {
 	MaxInFlight int
 	// RetryAfter is the Retry-After hint on shed responses (default 1s).
 	RetryAfter time.Duration
+	// ReadOnly refuses POST /v1/ingest with 403: the stance of a
+	// replication follower, whose graph is written only by the primary's
+	// record stream. Reads are unaffected.
+	ReadOnly bool
+	// MinEpochWait bounds how long a read carrying X-Min-Epoch blocks for
+	// the engine to catch up before answering 503 + Retry-After (default
+	// 500ms). The wait never exceeds the request's own deadline.
+	MinEpochWait time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Logf receives structured-ish log lines (default log.Printf).
@@ -116,16 +127,25 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MinEpochWait <= 0 {
+		c.MinEpochWait = 500 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 	return c
 }
 
-// Server serves one engine over HTTP. Construct with New; start with Run
-// (or Serve, for an existing listener).
+// Server serves one engine over HTTP. Construct with New (engine in
+// hand) or NewPending (engine still booting — WAL replay, snapshot
+// download); start with Run (or Serve, for an existing listener).
 type Server struct {
-	eng *notable.Engine
+	// eng is nil while the process is still building its engine
+	// (NewPending): the server answers liveness and shapes a readiness
+	// "no" instead of refusing connections, so orchestrators can tell a
+	// long WAL replay from a dead process. Engine endpoints 503 until
+	// SetEngine arms it.
+	eng atomic.Pointer[notable.Engine]
 	cfg Config
 
 	http       *http.Server
@@ -133,25 +153,61 @@ type Server struct {
 	cancelBase context.CancelFunc
 
 	draining atomic.Bool
-	inflight atomic.Int64
-	shed     atomic.Int64
-	admit    chan struct{}
+	// drainCh is closed the moment drain begins. Long-lived streams (the
+	// replication tail) select on it and terminate immediately — they
+	// would otherwise hold http.Server.Shutdown at the deadline every
+	// drain.
+	drainCh    chan struct{}
+	drainStart atomic.Int64 // unix nanos; 0 until draining
+	inflight   atomic.Int64
+	shed       atomic.Int64
+	admit      chan struct{}
+
+	// readiness is the serving-fitness signal behind /healthz (nil means
+	// "ready whenever an engine is set"): boot and follower lifecycles
+	// publish their catch-up state here via SetReadiness.
+	readiness atomic.Pointer[Readiness]
 
 	reqSeq   atomic.Uint64
 	reqNonce string
 	start    time.Time
 }
 
+// Readiness is the serving-fitness state behind /healthz: distinct from
+// liveness (/livez), which only says the process is running. A follower
+// mid-catch-up or a booting durable engine is alive but not ready.
+type Readiness struct {
+	// Ready reports fitness to serve reads at a current epoch.
+	Ready bool
+	// Status is a short human-readable state ("catching-up", "resyncing",
+	// "booting"); "" renders as "ok" or "unready".
+	Status string
+	// Epoch is the engine's current epoch; Target is the epoch it must
+	// reach to be ready (0 when unknown or not applicable).
+	Epoch, Target uint64
+}
+
 // New builds a Server over eng. The engine must already hold its graph;
 // the server adds no per-request state beyond the gauges above.
 func New(eng *notable.Engine, cfg Config) *Server {
+	s := NewPending(cfg)
+	s.eng.Store(eng)
+	return s
+}
+
+// NewPending builds a Server with no engine yet: every route is mounted,
+// liveness answers, readiness says "booting", and engine endpoints 503
+// until SetEngine. This is how ncserved listens during a long WAL replay
+// or follower bootstrap instead of leaving connection refused — the
+// difference between "starting up" and "dead" from outside.
+func NewPending(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		eng:        eng,
 		cfg:        cfg,
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
+		drainCh:    make(chan struct{}),
 		admit:      make(chan struct{}, cfg.MaxInFlight),
 		reqNonce:   newNonce(),
 		start:      time.Now(),
@@ -167,11 +223,24 @@ func New(eng *notable.Engine, cfg Config) *Server {
 	return s
 }
 
+// SetEngine arms a NewPending server with its engine. Call once, after
+// the engine is fully constructed; engine endpoints begin serving on the
+// next request.
+func (s *Server) SetEngine(eng *notable.Engine) { s.eng.Store(eng) }
+
+// engine returns the engine, or nil while still booting.
+func (s *Server) engine() *notable.Engine { return s.eng.Load() }
+
+// SetReadiness publishes the serving-fitness state /healthz reports.
+// Boot and follower lifecycles call it as they progress; passing
+// Ready true flips /healthz back to 200.
+func (s *Server) SetReadiness(r Readiness) { s.readiness.Store(&r) }
+
 // newNonce returns a per-process request-id prefix so ids stay unique
 // across restarts.
 func newNonce() string {
 	var b [4]byte
-	if _, err := rand.Read(b[:]); err != nil {
+	if _, err := crand.Read(b[:]); err != nil {
 		return "srv"
 	}
 	return hex.EncodeToString(b[:])
@@ -182,11 +251,16 @@ func newNonce() string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleLivez)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.Handle("/v1/search", s.engineEndpoint(s.handleSearch))
 	mux.Handle("/v1/batch", s.engineEndpoint(s.handleBatch))
 	mux.Handle("/v1/stream", s.engineEndpoint(s.handleStream))
 	mux.Handle("/v1/ingest", s.engineEndpoint(s.handleIngest))
+	// Replication exports: GET, long-lived, outside the admission gate —
+	// a follower's stream must not compete with query traffic for slots.
+	mux.HandleFunc("/v1/repl/stream", s.handleReplStream)
+	mux.HandleFunc("/v1/repl/snapshot", s.handleReplSnapshot)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -230,7 +304,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // requests under the drain deadline, cancel stragglers, and only then
 // force-close whatever still holds a connection.
 func (s *Server) drain(errc chan error) error {
-	s.draining.Store(true)
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainStart.Store(time.Now().UnixNano())
+		// Wake long-lived streams (replication tails) so Shutdown's
+		// in-flight wait is over handlers that actually end.
+		close(s.drainCh)
+	}
 	s.cfg.Logf("server: draining (deadline %v, %d in flight)", s.cfg.DrainTimeout, s.inflight.Load())
 	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
@@ -263,26 +342,67 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // served.
 func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
-// handleHealthz answers 200 while serving and 503 once draining, so load
-// balancers stop routing before the listener closes.
+// healthzResponse is the /healthz (readiness) body: ready or not, why,
+// and — when the process is catching up — how far along it is.
+type healthzResponse struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Target uint64 `json:"target,omitempty"`
+}
+
+// handleHealthz is READINESS: 200 only when this process should receive
+// traffic. Draining, booting (engine not yet set — a durable engine
+// still replaying its WAL tail), or a follower behind its epoch floor
+// all answer 503 with the current/target epochs, while /livez stays 200
+// — the difference between "stop routing here" and "restart me".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	eng := s.engine()
+	if eng == nil {
+		resp := healthzResponse{Status: "booting"}
+		if rd := s.readiness.Load(); rd != nil {
+			resp.Epoch, resp.Target = rd.Epoch, rd.Target
+			if rd.Status != "" {
+				resp.Status = rd.Status
+			}
+		}
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	if rd := s.readiness.Load(); rd != nil && !rd.Ready {
+		status := rd.Status
+		if status == "" {
+			status = "unready"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{
+			Status: status, Epoch: rd.Epoch, Target: rd.Target,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Ready: true, Epoch: eng.Epoch()})
+}
+
+// handleLivez is LIVENESS: 200 whenever the process can answer at all —
+// booting, catching up, even draining. Restart triggers key off this;
+// routing decisions key off /healthz.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
 }
 
 // statszResponse is the /statsz payload: the metrics-lite JSON view of
 // the process — cache residency per layer, executor load, and the serving
 // gauges an admission-tuning loop needs.
 type statszResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Draining      bool           `json:"draining"`
-	InFlight      int64          `json:"in_flight"`
-	MaxInFlight   int            `json:"max_in_flight"`
-	Shed          int64          `json:"shed_total"`
-	Goroutines    int            `json:"goroutines"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	InFlight      int64   `json:"in_flight"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	Shed          int64   `json:"shed_total"`
+	Goroutines    int     `json:"goroutines"`
 	// Live-graph gauges: the current epoch, the overlay's applied
 	// add/delete counts since the last base rebuild, completed rebuilds,
 	// and the last compaction's wall-clock.
@@ -296,41 +416,70 @@ type statszResponse struct {
 	// log size, durable record count, the most recent fsync's duration
 	// (disk-health canary), the newest checkpoint's epoch, and how many
 	// records boot-time recovery replayed.
-	WALEnabled       bool           `json:"wal_enabled"`
-	WALBytes         int64          `json:"wal_bytes"`
-	WALRecords       int64          `json:"wal_records"`
-	WALLastFsyncMS   float64        `json:"wal_last_fsync_ms"`
-	CheckpointEpoch  uint64         `json:"checkpoint_epoch"`
-	RecoveredRecords int            `json:"recovered_records"`
-	Executor         exec.PoolStats `json:"executor"`
-	Cache            qcache.Stats   `json:"cache"`
+	WALEnabled       bool    `json:"wal_enabled"`
+	WALBytes         int64   `json:"wal_bytes"`
+	WALRecords       int64   `json:"wal_records"`
+	WALLastFsyncMS   float64 `json:"wal_last_fsync_ms"`
+	CheckpointEpoch  uint64  `json:"checkpoint_epoch"`
+	RecoveredRecords int     `json:"recovered_records"`
+	// SnapshotsSkipped counts checkpoint files boot recovery discarded as
+	// unreadable — non-zero means the durability dir is limping on its
+	// fallback checkpoint, a state health probes should surface, not just
+	// a boot-time log line.
+	SnapshotsSkipped int `json:"snapshots_skipped"`
+	// Serving-topology gauges: whether this process takes writes, whether
+	// readiness currently gates it, and the engine's replication state.
+	ReadOnly     bool           `json:"read_only"`
+	Ready        bool           `json:"ready"`
+	Booting      bool           `json:"booting"`
+	DurableEpoch uint64         `json:"durable_epoch"`
+	Executor     exec.PoolStats `json:"executor"`
+	Cache        qcache.Stats   `json:"cache"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	vs := s.eng.VersionStats()
-	ds := s.eng.DurabilityStats()
-	writeJSON(w, http.StatusOK, statszResponse{
-		UptimeSeconds:    time.Since(s.start).Seconds(),
-		Draining:         s.draining.Load(),
-		InFlight:         s.inflight.Load(),
-		MaxInFlight:      s.cfg.MaxInFlight,
-		Shed:             s.shed.Load(),
-		Goroutines:       runtime.NumGoroutine(),
-		GraphEpoch:       vs.Epoch,
-		OverlayAdds:      vs.OverlayAdds,
-		OverlayDels:      vs.OverlayDels,
-		BaseRebuilds:     vs.Rebuilds,
-		LastCompactionMS: float64(vs.LastCompaction.Microseconds()) / 1000,
-		Compacting:       vs.Compacting,
-		WALEnabled:       ds.Enabled,
-		WALBytes:         ds.WALBytes,
-		WALRecords:       ds.WALRecords,
-		WALLastFsyncMS:   float64(ds.LastFsync.Microseconds()) / 1000,
-		CheckpointEpoch:  ds.CheckpointEpoch,
-		RecoveredRecords: ds.RecoveredRecords,
-		Executor:         exec.Default().Stats(),
-		Cache:            s.eng.CacheStats(),
-	})
+	resp := statszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		InFlight:      s.inflight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Shed:          s.shed.Load(),
+		Goroutines:    runtime.NumGoroutine(),
+		ReadOnly:      s.cfg.ReadOnly,
+		Executor:      exec.Default().Stats(),
+	}
+	eng := s.engine()
+	if eng == nil {
+		// Still booting: serve the process-level gauges rather than refuse —
+		// an operator watching a long WAL replay wants these.
+		resp.Booting = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	vs := eng.VersionStats()
+	ds := eng.DurabilityStats()
+	resp.GraphEpoch = vs.Epoch
+	resp.OverlayAdds = vs.OverlayAdds
+	resp.OverlayDels = vs.OverlayDels
+	resp.BaseRebuilds = vs.Rebuilds
+	resp.LastCompactionMS = float64(vs.LastCompaction.Microseconds()) / 1000
+	resp.Compacting = vs.Compacting
+	resp.WALEnabled = ds.Enabled
+	resp.WALBytes = ds.WALBytes
+	resp.WALRecords = ds.WALRecords
+	resp.WALLastFsyncMS = float64(ds.LastFsync.Microseconds()) / 1000
+	resp.CheckpointEpoch = ds.CheckpointEpoch
+	resp.RecoveredRecords = ds.RecoveredRecords
+	resp.SnapshotsSkipped = ds.SkippedCheckpoints
+	resp.Cache = eng.CacheStats()
+	resp.Ready = true
+	if rd := s.readiness.Load(); rd != nil {
+		resp.Ready = rd.Ready
+	}
+	if de, err := eng.DurableEpoch(); err == nil {
+		resp.DurableEpoch = de
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // errorResponse is the JSON error body every non-200 answer carries.
@@ -380,6 +529,35 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 // statusClientClosedRequest is nginx's non-standard 499: the request ctx
 // was cancelled from outside the handler.
 const statusClientClosedRequest = 499
+
+// retryAfterSeconds renders base as a whole-second Retry-After value
+// with ±20% jitter, so a replica fleet (or a crowd of clients) told to
+// come back later does not return in lockstep. Always ≥ 1.
+func retryAfterSeconds(base time.Duration) string {
+	jittered := float64(base) * (0.8 + 0.4*rand.Float64())
+	secs := int(math.Ceil(jittered / float64(time.Second)))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// drainRetryAfter is the honest Retry-After base while draining: the
+// time left until this process is actually gone (drain deadline minus
+// elapsed) plus a restart margin — retrying against this address any
+// sooner can only hit the same dying listener. Config.RetryAfter floors
+// it (and covers the not-actually-draining race).
+func (s *Server) drainRetryAfter() time.Duration {
+	started := s.drainStart.Load()
+	if started == 0 {
+		return s.cfg.RetryAfter
+	}
+	remaining := s.cfg.DrainTimeout - time.Since(time.Unix(0, started)) + time.Second
+	if remaining < s.cfg.RetryAfter {
+		remaining = s.cfg.RetryAfter
+	}
+	return remaining
+}
 
 // badRequest wraps a request-shape problem (malformed JSON, oversized
 // body) for writeError.

@@ -1,7 +1,9 @@
 package wal
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/kg"
@@ -25,9 +27,9 @@ func FuzzRecord(f *testing.F) {
 		valid[:5],                                    // torn payload
 		valid[:3],                                    // torn length prefix
 		{},
-		{0, 0, 0, 0, 0, 0, 0, 0},                   // empty payload, zero CRC
-		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},          // absurd length prefix
-		{4, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9, 9},       // bad CRC
+		{0, 0, 0, 0, 0, 0, 0, 0},             // empty payload, zero CRC
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},    // absurd length prefix
+		{4, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9, 9}, // bad CRC
 		append([]byte{250, 0, 0, 0}, valid[4:]...), // lying length
 	}
 	// Bit-flip corpus: one flipped bit per region of a valid frame.
@@ -54,6 +56,73 @@ func FuzzRecord(f *testing.F) {
 		back := AppendRecord(nil, rec)
 		if string(back) != string(data[:n]) {
 			t.Fatalf("decode(%x) = %+v, but re-encoding gives %x", data[:n], rec, back)
+		}
+	})
+}
+
+// FuzzFrameReader throws arbitrary byte streams at the replication
+// frame reader — the follower-facing twin of FuzzRecord, sharing its
+// seed shapes plus heartbeat-specific ones. Contracts: never panics,
+// terminates (every Next consumes ≥1 byte or errors), every failure
+// wraps exactly one of ErrTorn/ErrCorrupt, decoded records re-encode to
+// frames that appear in order in the input, and heartbeat counting
+// never misreads record frames.
+func FuzzFrameReader(f *testing.F) {
+	valid := AppendRecord(nil, Record{Epoch: 7,
+		Adds: []kg.Triple{{S: "Angela Merkel", P: "studied", O: "Physics"}},
+		Dels: []kg.Triple{{S: "a", P: "b", O: "c"}}})
+	empty := AppendRecord(nil, Record{Epoch: 1})
+	hb := HeartbeatFrame()
+	seeds := [][]byte{
+		valid,
+		empty,
+		hb,
+		append(append([]byte{}, hb...), valid...),    // heartbeat then record
+		append(append([]byte{}, valid...), hb...),    // record then heartbeat
+		append(append([]byte{}, valid...), empty...), // two frames back to back
+		append(append([]byte{}, hb...), hb[:5]...),   // heartbeat then torn heartbeat
+		valid[:len(valid)-1],                         // torn CRC
+		valid[:5],                                    // torn payload
+		valid[:3],                                    // torn length prefix
+		{},
+		{0, 0, 0, 0, 9, 9, 9, 9},                   // empty payload, nonzero CRC
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},          // absurd length prefix
+		{4, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9, 9},       // bad CRC
+		append([]byte{250, 0, 0, 0}, valid[4:]...), // lying length
+	}
+	for _, i := range []int{0, 2, 4, 6, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x10
+		seeds = append(seeds, mut)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		rest := data
+		for {
+			rec, err := fr.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				torn, corrupt := errors.Is(err, ErrTorn), errors.Is(err, ErrCorrupt)
+				if torn == corrupt {
+					t.Fatalf("error is not exactly one of torn/corrupt (torn=%v corrupt=%v): %v", torn, corrupt, err)
+				}
+				return
+			}
+			// The decoded record's re-encoding must appear at the next frame
+			// boundary, past any heartbeats.
+			back := AppendRecord(nil, rec)
+			for len(rest) >= frameOverhead && bytes.Equal(rest[:frameOverhead], HeartbeatFrame()) {
+				rest = rest[frameOverhead:]
+			}
+			if len(back) > len(rest) || !bytes.Equal(rest[:len(back)], back) {
+				t.Fatalf("decoded %+v, but its frame is not next on the stream", rec)
+			}
+			rest = rest[len(back):]
 		}
 	})
 }

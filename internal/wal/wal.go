@@ -182,6 +182,15 @@ type Log struct {
 	err       error // sticky: first write/fsync/truncate failure
 	closed    bool
 
+	// Replication watermarks (stream.go). durableEpoch trails lastEpoch
+	// until an fsync covers it; oldestInLog is the epoch of the oldest
+	// record still in the file (0 when the file holds none) — TailSince's
+	// gone-detection floor; notifyCh is close-and-replaced on every
+	// durable advance, sticky failure, or close.
+	durableEpoch uint64
+	oldestInLog  uint64
+	notifyCh     chan struct{}
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 	buf       []byte // append encode scratch, guarded by mu
@@ -256,6 +265,7 @@ func Open(dir string, opt Options, load func(epoch uint64, payload io.Reader) er
 
 	l := &Log{dir: dir, opt: opt, ckptEpoch: rec.CheckpointEpoch, lastEpoch: rec.CheckpointEpoch}
 	l.cond = sync.NewCond(&l.mu)
+	l.notifyCh = make(chan struct{})
 	if rec.HasCheckpoint {
 		// The retained-older-checkpoint floor restarts at the loaded one:
 		// records at or below it were only kept for its sake.
@@ -264,6 +274,8 @@ func Open(dir string, opt Options, load func(epoch uint64, payload io.Reader) er
 	if err := l.recoverLog(&rec); err != nil {
 		return nil, Recovery{}, err
 	}
+	// Everything recovery accepted is on disk by definition.
+	l.durableEpoch = l.lastEpoch
 	if opt.Sync == SyncEveryInterval {
 		l.flushStop = make(chan struct{})
 		l.flushDone = make(chan struct{})
@@ -306,6 +318,9 @@ func (l *Log) recoverLog(rec *Recovery) error {
 	prev := uint64(0)
 	for off < len(data) {
 		r, n, err := ReadRecord(data[off:])
+		if err == nil && l.oldestInLog == 0 {
+			l.oldestInLog = r.Epoch
+		}
 		if errors.Is(err, ErrTorn) {
 			rec.TruncatedBytes += int64(len(data) - off)
 			l.opt.Logf("wal: truncating torn final record: %d byte(s) at offset %d (%v)", len(data)-off, off, err)
@@ -405,6 +420,9 @@ func (l *Log) Append(rec Record) (Commit, error) {
 	}
 	l.records++
 	l.lastEpoch = rec.Epoch
+	if l.oldestInLog == 0 {
+		l.oldestInLog = rec.Epoch
+	}
 	end := l.size
 	return func() error { return l.commitWait(end) }, nil
 }
@@ -442,7 +460,9 @@ func (l *Log) syncLocked() {
 		return
 	}
 	l.synced = l.size
+	l.durableEpoch = l.lastEpoch
 	l.cond.Broadcast()
+	l.bumpLocked()
 }
 
 // fail records the sticky error and wakes every waiter. Caller holds l.mu.
@@ -451,6 +471,7 @@ func (l *Log) fail(err error) {
 		l.err = err
 	}
 	l.cond.Broadcast()
+	l.bumpLocked()
 }
 
 // flusher is the SyncEveryInterval group-commit loop.
@@ -580,6 +601,7 @@ func (l *Log) truncateLocked(floor uint64) error {
 	out = append(out, logMagic...)
 	out = appendLE32(out, logVersion)
 	kept := int64(0)
+	oldest := uint64(0)
 	for off := headerLen; off < len(data); {
 		r, n, err := ReadRecord(data[off:])
 		if err != nil {
@@ -588,6 +610,9 @@ func (l *Log) truncateLocked(floor uint64) error {
 		if r.Epoch > floor {
 			out = append(out, data[off:off+n]...)
 			kept++
+			if oldest == 0 {
+				oldest = r.Epoch
+			}
 		}
 		off += n
 	}
@@ -624,6 +649,13 @@ func (l *Log) truncateLocked(floor uint64) error {
 	l.size = int64(len(out))
 	l.synced = l.size
 	l.records = kept
+	l.oldestInLog = oldest
+	// The rewrite fsync'd everything it kept — including records that were
+	// awaiting a group-commit tick — and the checkpoint that triggered it
+	// is durable, so the durable watermark catches up to the newest epoch.
+	l.durableEpoch = l.lastEpoch
+	l.cond.Broadcast()
+	l.bumpLocked()
 	return nil
 }
 
@@ -664,6 +696,7 @@ func (l *Log) Close() error {
 		}
 	}
 	l.cond.Broadcast()
+	l.bumpLocked()
 	l.mu.Unlock()
 	if l.flushStop != nil {
 		close(l.flushStop)

@@ -326,8 +326,10 @@ type Engine struct {
 	ingestMu sync.Mutex
 	// walLogf receives checkpoint-failure lines (durable engines only).
 	walLogf func(format string, args ...any)
-	// recovered is the boot-time replay count, for observability.
-	recovered int
+	// recovered is the boot-time replay count, for observability;
+	// skippedCkpts counts checkpoint files boot recovery discarded.
+	recovered    int
+	skippedCkpts int
 	// selMemo caches the request-derived state — epoch tag, wrapped
 	// selector, cache-key prefix — for one (epoch, effective options)
 	// pair, so the steady-state serving path (same options, unchanged

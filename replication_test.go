@@ -1,0 +1,228 @@
+package notable
+
+// Engine-level replication tests: a replica rebuilt from ReplSnapshot +
+// ReplTail answers bitwise-identically to the primary AND to a
+// from-scratch oracle at the same epoch, snapshot/stream composition
+// has no gap across checkpoints, truncated positions report
+// ErrEpochTruncated, and the durability/reset guard rails hold. The
+// HTTP layer on top is covered in internal/server and internal/repl.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// replicaFrom builds a replica engine from the primary's snapshot
+// export, as a follower's bootstrap would.
+func replicaFrom(t *testing.T, primary *Engine, opt Options) (*Engine, uint64) {
+	t.Helper()
+	epoch, rc, err := primary.ReplSnapshot()
+	if err != nil {
+		t.Fatalf("ReplSnapshot: %v", err)
+	}
+	defer rc.Close()
+	g, err := ReadSnapshot(rc)
+	if err != nil {
+		t.Fatalf("decoding replication snapshot: %v", err)
+	}
+	return NewReplicaEngine(g, opt, epoch), epoch
+}
+
+// replayTail streams the primary's tail from the given epoch into the
+// replica, asserting the published epoch matches the logged epoch on
+// every batch — the follower's core loop, minus HTTP.
+func replayTail(t *testing.T, primary, replica *Engine, from uint64) uint64 {
+	t.Helper()
+	tail, durable, err := primary.ReplTail(from)
+	if err != nil {
+		t.Fatalf("ReplTail(%d): %v", from, err)
+	}
+	fr := wal.NewFrameReader(bytes.NewReader(tail))
+	for {
+		rec, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			return durable
+		}
+		if err != nil {
+			t.Fatalf("decoding tail: %v", err)
+		}
+		got, err := replica.ApplyTriples(context.Background(), rec.Adds, rec.Dels)
+		if err != nil {
+			t.Fatalf("applying epoch %d on replica: %v", rec.Epoch, err)
+		}
+		if got != rec.Epoch {
+			t.Fatalf("replica published epoch %d for logged epoch %d", got, rec.Epoch)
+		}
+	}
+}
+
+// TestReplicaMatchesPrimaryBitwise: snapshot + tail replay rebuilds the
+// primary's exact bits — same answer as the primary and as a
+// from-scratch engine at the same epoch.
+func TestReplicaMatchesPrimaryBitwise(t *testing.T) {
+	opt := durOpt()
+	primary, _, err := NewDurableEngine(buildLeaders(), opt, quietDur(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	applyBatches(t, primary, 6)
+
+	replica, snapEpoch := replicaFrom(t, primary, opt)
+	defer replica.Close()
+	durable := replayTail(t, primary, replica, snapEpoch)
+	if durable != 6 || replica.Epoch() != 6 {
+		t.Fatalf("replica at epoch %d (durable %d), want 6", replica.Epoch(), durable)
+	}
+
+	want := durableDo(t, primary)
+	got := durableDo(t, replica)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica result differs from primary:\n got %+v\nwant %+v", got, want)
+	}
+	oracle := oracleResult(t, opt, 6)
+	if !reflect.DeepEqual(got, oracle) {
+		t.Fatalf("replica result differs from from-scratch oracle:\n got %+v\nwant %+v", got, oracle)
+	}
+}
+
+// TestReplicaBootstrapAcrossCheckpoint: when the primary has
+// checkpointed, the snapshot is the checkpoint and the tail starts
+// exactly there — no gap, no overlap, same final bits.
+func TestReplicaBootstrapAcrossCheckpoint(t *testing.T) {
+	opt := durOpt()
+	primary, _, err := NewDurableEngine(buildLeaders(), opt, quietDur(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	applyBatches(t, primary, 4)
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// More batches after the checkpoint: the replica must get these from
+	// the stream.
+	for i := 4; i < 7; i++ {
+		adds, dels := durableBatch(i)
+		if _, err := primary.ApplyTriples(context.Background(), adds, dels); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replica, snapEpoch := replicaFrom(t, primary, opt)
+	defer replica.Close()
+	if snapEpoch != 4 {
+		t.Fatalf("snapshot epoch %d, want the checkpoint's 4", snapEpoch)
+	}
+	replayTail(t, primary, replica, snapEpoch)
+	if replica.Epoch() != 7 {
+		t.Fatalf("replica caught up to epoch %d, want 7", replica.Epoch())
+	}
+	if got, want := durableDo(t, replica), durableDo(t, primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica result differs from primary after checkpoint bootstrap:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReplTailTruncated: a stream position truncated behind two
+// checkpoints reports ErrEpochTruncated — the re-bootstrap signal.
+func TestReplTailTruncated(t *testing.T) {
+	opt := durOpt()
+	primary, _, err := NewDurableEngine(buildLeaders(), opt, quietDur(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	applyBatches(t, primary, 3)
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		adds, dels := durableBatch(i)
+		if _, err := primary.ApplyTriples(context.Background(), adds, dels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Records ≤ 3 are now truncated away (retention floor = first
+	// checkpoint); a follower parked at epoch 1 must re-bootstrap.
+	if _, _, err := primary.ReplTail(1); !errors.Is(err, ErrEpochTruncated) {
+		t.Fatalf("ReplTail(1) after truncation: got %v, want ErrEpochTruncated", err)
+	}
+	// From the first checkpoint's epoch onward the log still serves.
+	if _, _, err := primary.ReplTail(3); err != nil {
+		t.Fatalf("ReplTail(3): %v", err)
+	}
+}
+
+// TestReplExportsRequireDurability: a WAL-less engine has no durable
+// stream to ship, and a durable engine refuses ResetGraph.
+func TestReplExportsRequireDurability(t *testing.T) {
+	e := NewEngine(buildLeaders(), durOpt())
+	defer e.Close()
+	if _, err := e.DurableEpoch(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("DurableEpoch on in-memory engine: %v", err)
+	}
+	if _, _, err := e.ReplTail(0); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("ReplTail on in-memory engine: %v", err)
+	}
+	if _, err := e.ReplChanged(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("ReplChanged on in-memory engine: %v", err)
+	}
+	if _, _, err := e.ReplSnapshot(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("ReplSnapshot on in-memory engine: %v", err)
+	}
+
+	d, _, err := NewDurableEngine(buildLeaders(), durOpt(), quietDur(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.ResetGraph(buildLeaders(), 10); !errors.Is(err, ErrDurability) {
+		t.Fatalf("ResetGraph on durable engine: got %v, want ErrDurability", err)
+	}
+}
+
+// TestResetGraphOnReplica: the resync path replaces a replica's state
+// at a forward epoch and refuses rewinds; queries and the name index
+// track the new graph.
+func TestResetGraphOnReplica(t *testing.T) {
+	opt := durOpt()
+	replica := NewReplicaEngine(buildLeaders(), opt, 5)
+	defer replica.Close()
+	if replica.Epoch() != 5 {
+		t.Fatalf("replica epoch %d, want 5", replica.Epoch())
+	}
+
+	// Build the resync target: the leaders graph after two batches, as a
+	// primary's checkpoint at epoch 7 would hold.
+	donor := NewEngine(buildLeaders(), opt)
+	applyBatches(t, donor, 2)
+	var buf bytes.Buffer
+	if err := donor.Graph().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ResetGraph(g, 7); err != nil {
+		t.Fatalf("ResetGraph: %v", err)
+	}
+	if replica.Epoch() != 7 {
+		t.Fatalf("epoch after reset %d, want 7", replica.Epoch())
+	}
+	if got, want := durableDo(t, replica), durableDo(t, donor); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-reset result differs from donor:\n got %+v\nwant %+v", got, want)
+	}
+	if err := replica.ResetGraph(buildLeaders(), 3); err == nil {
+		t.Fatal("ResetGraph accepted an epoch rewind from 7 to 3")
+	}
+}

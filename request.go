@@ -243,7 +243,7 @@ func (e *Engine) DoStream(ctx context.Context, qs []Query) <-chan Outcome {
 		valid = append(valid, q)
 		origIdx = append(origIdx, i)
 	}
-	view := e.vg.View() // pin: the stream's queries all run on this epoch
+	view := e.vg.View()                       // pin: the stream's queries all run on this epoch
 	groups, _ := e.groupRequests(valid, view) // already validated: err impossible
 	go func() {
 		defer close(ch)

@@ -148,3 +148,133 @@ if [ "$STATUS" -ne 0 ]; then
   exit 1
 fi
 echo "smoke: restart-recovery leg passed"
+
+# ---------------------------------------------------------------------
+# Readiness vs liveness: a follower pointed at a dead primary must be
+# alive (livez 200, restart triggers leave it be) but NOT ready
+# (healthz 503, load balancers route around it) — and must flip to
+# ready on its own once the primary appears and replay reaches the
+# acked epoch.
+PRI_ADDR="127.0.0.1:18082"
+FOL_ADDR="127.0.0.1:18083"
+PRI_WAL="$(dirname "$BIN")/wal-primary"
+
+http_code() { # url
+  curl -s -o /dev/null -w '%{http_code}' "$1" 2>/dev/null || echo 000
+}
+wait_code() { # url want what
+  for i in $(seq 1 100); do
+    if [ "$(http_code "$1")" = "$2" ]; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "smoke: timed out waiting for $3 ($1 -> $(http_code "$1"), want $2)" >&2
+  exit 1
+}
+
+"$BIN" -follow "http://$PRI_ADDR" -addr "$FOL_ADDR" -drain 5s &
+FOL_PID=$!
+wait_code "http://$FOL_ADDR/livez" 200 "follower liveness"
+CODE=$(http_code "http://$FOL_ADDR/healthz")
+if [ "$CODE" != "503" ]; then
+  echo "smoke: follower with a dead primary reports healthz $CODE, want 503" >&2
+  exit 1
+fi
+HEALTH=$(curl -s "http://$FOL_ADDR/healthz")
+case "$HEALTH" in
+  *'"ready":false'*) echo "smoke: follower is alive but not ready -> $HEALTH" ;;
+  *) echo "smoke: unready follower healthz lacks ready:false: $HEALTH" >&2; exit 1 ;;
+esac
+
+"$BIN" -dataset figure1 -addr "$PRI_ADDR" -drain 5s -wal-dir "$PRI_WAL" &
+PRI_PID=$!
+wait_code "http://$PRI_ADDR/healthz" 200 "primary readiness"
+INGEST=$(curl -sf "http://$PRI_ADDR/v1/ingest" -d '{"adds":[
+  {"s":"Angela Merkel","p":"awarded","o":"Nobel Peace Prize"}]}')
+case "$INGEST" in
+  *'"epoch":1'*) ;;
+  *) echo "smoke: primary ingest did not advance the epoch: $INGEST" >&2; exit 1 ;;
+esac
+
+wait_code "http://$FOL_ADDR/healthz" 200 "follower readiness flip"
+HEALTH=$(curl -sf "http://$FOL_ADDR/healthz")
+case "$HEALTH" in
+  *'"ready":true'*) echo "smoke: follower flipped ready -> $HEALTH" ;;
+  *) echo "smoke: ready follower healthz lacks ready:true: $HEALTH" >&2; exit 1 ;;
+esac
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$FOL_ADDR/v1/ingest" -d '{"adds":[{"s":"a","p":"b","o":"c"}]}')
+if [ "$CODE" != "403" ]; then
+  echo "smoke: follower accepted an ingest ($CODE), want 403" >&2
+  exit 1
+fi
+echo "smoke: readiness-flip leg passed"
+
+# ---------------------------------------------------------------------
+# Failover: primary + 2 followers behind ncrouter; kill one follower
+# mid-query-loop (every query must still answer 200 at a valid epoch),
+# restart it, and require catch-up to the head epoch.
+RBIN="$(dirname "$BIN")/ncrouter"
+go build -o "$RBIN" ./cmd/ncrouter
+
+FOL2_ADDR="127.0.0.1:18084"
+RTR_ADDR="127.0.0.1:18085"
+
+"$BIN" -follow "http://$PRI_ADDR" -addr "$FOL2_ADDR" -drain 5s &
+FOL2_PID=$!
+wait_code "http://$FOL2_ADDR/healthz" 200 "second follower readiness"
+
+"$RBIN" -addr "$RTR_ADDR" -primary primary -probe-interval 250ms -fail-window 2 \
+  -backend "primary=http://$PRI_ADDR" \
+  -backend "f1=http://$FOL_ADDR" \
+  -backend "f2=http://$FOL2_ADDR" &
+RTR_PID=$!
+wait_code "http://$RTR_ADDR/healthz" 200 "router health"
+
+for i in $(seq 1 10); do
+  if [ "$i" = "4" ]; then
+    kill -KILL "$FOL_PID"
+    wait "$FOL_PID" 2>/dev/null || true
+    echo "smoke: follower f1 SIGKILLed mid-loop"
+  fi
+  RESULT=$(curl -sf -H 'X-Min-Epoch: 1' "http://$RTR_ADDR/v1/search" \
+    -d '{"entities":["Angela Merkel","Barack Obama"]}') || {
+    echo "smoke: routed query $i failed during failover" >&2
+    exit 1
+  }
+  case "$RESULT" in
+    *'"epoch":1'*) ;;
+    *) echo "smoke: routed query $i answered at a wrong epoch: ${RESULT:0:200}" >&2; exit 1 ;;
+  esac
+done
+echo "smoke: all routed queries survived the follower kill"
+
+"$BIN" -follow "http://$PRI_ADDR" -addr "$FOL_ADDR" -drain 5s &
+FOL_PID=$!
+wait_code "http://$FOL_ADDR/healthz" 200 "restarted follower catch-up"
+HEALTH=$(curl -sf "http://$FOL_ADDR/healthz")
+case "$HEALTH" in
+  *'"epoch":1'*) echo "smoke: restarted follower caught up to the head epoch" ;;
+  *) echo "smoke: restarted follower at the wrong epoch: $HEALTH" >&2; exit 1 ;;
+esac
+
+# Read-your-writes through the router: ingest lands on the primary and
+# a min-epoch read answers at (or past) the new epoch.
+INGEST=$(curl -sf "http://$RTR_ADDR/v1/ingest" -d '{"adds":[
+  {"s":"Barack Obama","p":"awarded","o":"Nobel Peace Prize"}]}')
+case "$INGEST" in
+  *'"epoch":2'*) ;;
+  *) echo "smoke: routed ingest did not advance the epoch: $INGEST" >&2; exit 1 ;;
+esac
+RESULT=$(curl -sf -H 'X-Min-Epoch: 2' "http://$RTR_ADDR/v1/search" \
+  -d '{"entities":["Angela Merkel","Barack Obama"]}')
+case "$RESULT" in
+  *'"epoch":2'*) echo "smoke: min-epoch read sees the routed ingest" ;;
+  *) echo "smoke: min-epoch read stuck behind the ingest: ${RESULT:0:200}" >&2; exit 1 ;;
+esac
+
+for P in "$RTR_PID" "$FOL_PID" "$FOL2_PID" "$PRI_PID"; do
+  kill -TERM "$P" 2>/dev/null || true
+  wait "$P" 2>/dev/null || true
+done
+echo "smoke: failover leg passed"
