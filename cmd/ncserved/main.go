@@ -143,6 +143,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ncserved:", err)
 			os.Exit(1)
 		}
+		// Replication lag rides the same /metrics as the request series.
+		f.RegisterMetrics(srv.Metrics())
 		go func() { _ = f.Run(ctx) }()
 	} else {
 		go func() {

@@ -150,6 +150,10 @@ func NewDurableEngine(bootstrap *Graph, opt Options, d Durability) (*Engine, *Re
 
 	e := newEngine(g, opt, recov.CheckpointEpoch)
 	e.walLogf = d.Logf
+	// The engine's registry (and so its fsync histogram) only exists now
+	// that recovery has produced the boot graph; arm the log with it so
+	// every post-boot fsync lands in nc_wal_fsync_seconds.
+	l.SetFsyncObs(e.met.fsync)
 	// Replay before arming the log: these batches are already in it, and
 	// re-applying them must republish the exact epochs they carried. A
 	// mismatch means the durable state does not reproduce what was

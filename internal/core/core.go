@@ -31,11 +31,13 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ctxsel"
 	"repro/internal/dist"
 	"repro/internal/exec"
 	"repro/internal/kg"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/stats"
 	"repro/internal/topk"
@@ -97,15 +99,6 @@ type Options struct {
 	// the report. The inverse direction is usually redundant with the
 	// forward one; the paper's figures show forward labels only.
 	SkipInverse bool
-	// Policy controls how query-only instance values are treated; see
-	// dist.UnseenPolicy. Default UnseenStrict (the paper's formula).
-	Policy dist.UnseenPolicy
-	// Parallelism bounds concurrent label tests; 0 means 4. CompareSets
-	// runs a fixed pool of exactly min(Parallelism, len(labels)) worker
-	// goroutines — never one per label.
-	Parallelism int
-	// Seed drives every randomized component.
-	Seed int64
 	// Partial opts FindNC and CompareSets into degraded results under
 	// cancellation: when ctx is cut mid-comparison the records completed so
 	// far are returned — sorted, each bitwise identical to its slot in the
@@ -118,6 +111,15 @@ type Options struct {
 	// be partial about. Batch entry points ignore Partial: a cancelled
 	// batch is abandoned outright.
 	Partial bool
+	// Policy controls how query-only instance values are treated; see
+	// dist.UnseenPolicy. Default UnseenStrict (the paper's formula).
+	Policy dist.UnseenPolicy
+	// Parallelism bounds concurrent label tests; 0 means 4. CompareSets
+	// runs a fixed pool of exactly min(Parallelism, len(labels)) worker
+	// goroutines — never one per label.
+	Parallelism int
+	// Seed drives every randomized component.
+	Seed int64
 	// TestCache, when non-nil, memoizes per-label Characteristic records
 	// across CompareSets calls, keyed on (label, query multiset, ranked
 	// context, test options, policy). A warm hit skips distribution
@@ -132,6 +134,24 @@ type Options struct {
 	// computed against one epoch are never served at another;
 	// single-graph callers may leave it empty.
 	CacheTag string
+
+	// Obs, when non-nil, receives per-stage wall times: one Select
+	// observation per FindNC call and per batch select phase (cache hits
+	// included — a warm hit is still the stage's latency as the caller
+	// experienced it), and one Compare observation per CompareSets call.
+	// Each observation is a few atomic adds; nil costs one branch. A
+	// single pointer rather than per-stage fields keeps Options within
+	// the 128-byte closure capture-by-value limit: the comparison pool's
+	// worker closure captures opt, and a larger Options would force a
+	// heap copy on every call.
+	Obs *StageObs
+}
+
+// StageObs bundles the per-stage latency histograms a caller may attach
+// to Options.Obs. Both fields must be non-nil when Obs is set.
+type StageObs struct {
+	Select  *obs.Histogram
+	Compare *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -224,7 +244,11 @@ func FindNC(ctx context.Context, g *kg.Graph, query []kg.NodeID, opt Options) (R
 		ctx = context.Background()
 	}
 	opt = opt.withDefaults()
+	selStart := time.Now()
 	cset := ctxsel.Select(ctx, opt.Selector, g, query, opt.ContextSize)
+	if opt.Obs != nil {
+		opt.Obs.Select.Observe(time.Since(selStart))
+	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -253,6 +277,7 @@ func FindNCBatch(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Op
 		ctx = context.Background()
 	}
 	opt = opt.withDefaults()
+	selStart := time.Now()
 	var contexts [][]topk.Item
 	if bs, ok := opt.Selector.(ctxsel.CtxBatchSelector); ok {
 		contexts = bs.SelectBatchCtx(ctx, g, queries, opt.ContextSize)
@@ -260,6 +285,9 @@ func FindNCBatch(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Op
 		contexts = bs.SelectBatch(g, queries, opt.ContextSize)
 	} else {
 		contexts = ctxsel.SelectBatchCtx(ctx, opt.Selector, g, queries, opt.ContextSize)
+	}
+	if opt.Obs != nil {
+		opt.Obs.Select.Observe(time.Since(selStart))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -310,6 +338,17 @@ var testLabelHook func()
 // A label test already running completes — its record is whole — so the
 // shared test cache only ever holds complete entries, cancelled or not.
 func CompareSets(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt Options) ([]Characteristic, error) {
+	if opt.Obs == nil {
+		return compareSetsUntimed(ctx, g, query, cset, opt)
+	}
+	start := time.Now()
+	out, err := compareSetsUntimed(ctx, g, query, cset, opt)
+	opt.Obs.Compare.Observe(time.Since(start))
+	return out, err
+}
+
+// compareSetsUntimed is CompareSets without the stage timer.
+func compareSetsUntimed(ctx context.Context, g *kg.Graph, query, cset []kg.NodeID, opt Options) ([]Characteristic, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

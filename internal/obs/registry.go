@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// A Registry holds named metric families and renders them in Prometheus
+// text exposition format. Registration happens once, at construction
+// time of whatever owns the metrics (engine, server, router); the hot
+// path never touches the registry — it holds the Counter/Gauge/
+// Histogram pointers registration returned. The registry is only walked
+// at scrape time, under a mutex that instrumented code never contends.
+//
+// Label sets are prerendered at registration: a series registered as
+// NewCounter("nc_requests_total", help, "endpoint", "search", "status",
+// "2xx") stores the literal `{endpoint="search",status="2xx"}` string
+// once and never formats labels again.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one metric name: its type, help text, and every labeled
+// series registered under it.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// series is one labeled instance within a family. Exactly one of
+// counter/gauge/gaugeFn/hist is set, per the family's kind.
+type series struct {
+	labels  string // prerendered `{k="v",...}` or "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// renderLabels formats alternating key/value pairs into the canonical
+// `{k="v",...}` form (empty string for no labels). Values are escaped
+// per the exposition format (backslash, quote, newline).
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	out := "{"
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += kv[i] + `="` + escapeLabel(kv[i+1]) + `"`
+	}
+	return out + "}"
+}
+
+func escapeLabel(v string) string {
+	// Fast path: nothing to escape (the common case for our static labels).
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	out := make([]byte, 0, len(v)+4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+func (r *Registry) familyFor(name, help string, kind metricKind) *family {
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+		return f
+	}
+	if f.kind != kind {
+		panic("obs: metric " + name + " re-registered with a different type")
+	}
+	return f
+}
+
+// NewCounter registers and returns a counter series. labelPairs is an
+// alternating key/value list; series under one name must use it
+// consistently. Call once at construction and keep the pointer.
+func (r *Registry) NewCounter(name, help string, labelPairs ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	f := r.familyFor(name, help, kindCounter)
+	f.series = append(f.series, &series{labels: renderLabels(labelPairs), counter: c})
+	return c
+}
+
+// NewGauge registers and returns a settable gauge series.
+func (r *Registry) NewGauge(name, help string, labelPairs ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{}
+	f := r.familyFor(name, help, kindGauge)
+	f.series = append(f.series, &series{labels: renderLabels(labelPairs), gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at each
+// scrape (runtime.NumGoroutine, heap bytes, follower lag). fn must be
+// safe to call from the scrape goroutine.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGauge)
+	f.series = append(f.series, &series{labels: renderLabels(labelPairs), gaugeFn: fn})
+}
+
+// NewHistogram registers and returns a latency histogram series on
+// DefaultLatencyBounds.
+func (r *Registry) NewHistogram(name, help string, labelPairs ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := NewHistogram(nil)
+	f := r.familyFor(name, help, kindHistogram)
+	f.series = append(f.series, &series{labels: renderLabels(labelPairs), hist: h})
+	return h
+}
+
+// RegisterHistogram attaches an externally constructed histogram (e.g.
+// one owned by an engine but exposed through a server registry) as a
+// series of name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindHistogram)
+	f.series = append(f.series, &series{labels: renderLabels(labelPairs), hist: h})
+}
+
+// RegisterCounter attaches an externally constructed counter.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter)
+	f.series = append(f.series, &series{labels: renderLabels(labelPairs), counter: c})
+}
+
+// Histograms returns the name → merged-snapshot map of every histogram
+// family (series under one name merged bucket-wise). Used by statsz
+// summaries and the soak harness; not on any hot path.
+func (r *Registry) Histograms() map[string]HistSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistSnapshot)
+	for _, f := range r.fams {
+		if f.kind != kindHistogram {
+			continue
+		}
+		var merged HistSnapshot
+		for _, s := range f.series {
+			merged = merged.Merge(s.hist.Snapshot())
+		}
+		out[f.name] = merged
+	}
+	return out
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE comments, then one line per
+// series — counters and gauges as bare samples, histograms as
+// cumulative `_bucket{le=...}` lines plus `_sum` and `_count`.
+// Families render in registration order (stable scrape diffs); an
+// explicit trailing newline ends the payload as the format requires.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		var typ string
+		switch f.kind {
+		case kindCounter:
+			typ = "counter"
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		return err
+	case kindGauge:
+		var v float64
+		if s.gaugeFn != nil {
+			v = s.gaugeFn()
+		} else {
+			v = float64(s.gauge.Value())
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+		return err
+	case kindHistogram:
+		snap := s.hist.Snapshot()
+		// Histogram bucket lines carry the series labels plus le=...;
+		// splice le into the prerendered label block.
+		var cum int64
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Bounds) {
+				le = formatFloat(snap.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(float64(snap.SumNanos)/1e9)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+		return err
+	}
+	return nil
+}
+
+// spliceLabel appends k="v" to a prerendered label block.
+func spliceLabel(labels, k, v string) string {
+	if labels == "" {
+		return "{" + k + `="` + v + `"}`
+	}
+	// labels is `{...}`: insert before the closing brace.
+	return labels[:len(labels)-1] + "," + k + `="` + v + `"}`
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integral values without an
+// exponent where possible.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortedFamilyNames returns the registered family names, sorted — handy
+// for tests and docs generation.
+func (r *Registry) SortedFamilyNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for _, f := range r.fams {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return names
+}

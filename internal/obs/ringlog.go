@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record is one structured access-log entry. Fields are fixed-size or
+// small strings the HTTP layer already holds (method and path are
+// request constants, the request ID is built once per request), so
+// recording copies headers, not bodies, and allocates nothing beyond
+// what the caller already created.
+type Record struct {
+	Time      time.Time `json:"time"`
+	Method    string    `json:"method"`
+	Path      string    `json:"path"`
+	RequestID string    `json:"request_id"`
+	Status    int       `json:"status"`
+	// DurationMicros is the request's wall time in microseconds —
+	// integral so the JSON form stays compact and exact.
+	DurationMicros int64 `json:"duration_us"`
+}
+
+// AccessLog is a fixed-capacity ring of Records. Writers claim a slot
+// with one atomic increment and copy the record under that slot's own
+// mutex — no global lock, no allocation, and concurrent writers only
+// contend when they land on the same slot (i.e. the ring has wrapped a
+// full lap while a write is still in flight). Readers (Drain) take the
+// same per-slot locks, so a drained record is never torn: it is exactly
+// what some writer stored, even under heavy wraparound.
+type AccessLog struct {
+	slots []logSlot
+	mask  uint64
+	next  atomic.Uint64 // next sequence number to claim
+}
+
+type logSlot struct {
+	mu  sync.Mutex
+	seq uint64 // 1-based sequence of the stored record; 0 = empty
+	rec Record
+}
+
+// NewAccessLog returns a ring holding the most recent `size` records.
+// Size is rounded up to a power of two (minimum 16) so slot selection
+// is a mask, not a modulo.
+func NewAccessLog(size int) *AccessLog {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &AccessLog{slots: make([]logSlot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's slot count.
+func (l *AccessLog) Cap() int { return len(l.slots) }
+
+// Len returns how many records are currently held (≤ Cap).
+func (l *AccessLog) Len() int {
+	n := l.next.Load()
+	if n > uint64(len(l.slots)) {
+		return len(l.slots)
+	}
+	return int(n)
+}
+
+// Total returns how many records have ever been added (including
+// overwritten ones) — the drop count is Total() - Len().
+func (l *AccessLog) Total() uint64 { return l.next.Load() }
+
+// Add stores r, overwriting the oldest record once the ring is full.
+// Safe for any number of concurrent writers; never allocates.
+func (l *AccessLog) Add(r Record) {
+	seq := l.next.Add(1) // 1-based
+	s := &l.slots[(seq-1)&l.mask]
+	s.mu.Lock()
+	// A slower writer that wrapped a full lap behind us must not clobber
+	// the newer record: sequences only move forward within a slot.
+	if seq > s.seq {
+		s.seq = seq
+		s.rec = r
+	}
+	s.mu.Unlock()
+}
+
+// Drain returns up to max of the most recent records in chronological
+// order (oldest first). max ≤ 0 means all held records. Drain does not
+// consume: the ring keeps its contents, so two drains with no writes in
+// between return the same tail. Records written concurrently with the
+// drain may or may not appear, but every returned record is complete.
+func (l *AccessLog) Drain(max int) []Record {
+	hi := l.next.Load() // sequences ≤ hi are candidates
+	n := uint64(len(l.slots))
+	lo := uint64(1)
+	if hi > n {
+		lo = hi - n + 1
+	}
+	if max > 0 && hi-lo+1 > uint64(max) {
+		lo = hi - uint64(max) + 1
+	}
+	if hi == 0 {
+		return nil
+	}
+	out := make([]Record, 0, hi-lo+1)
+	for seq := lo; seq <= hi; seq++ {
+		s := &l.slots[(seq-1)&l.mask]
+		s.mu.Lock()
+		// The slot holds this seq only if no newer lap has overwritten it
+		// (and the writer that claimed seq has finished its copy).
+		if s.seq == seq {
+			out = append(out, s.rec)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -31,8 +31,10 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/kg"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 )
 
@@ -51,9 +53,14 @@ func PersonalizedSumMulti(g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]f
 // cache; callers must treat ctx.Err() != nil as "no result".
 func PersonalizedSumMultiCtx(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Options) [][]float64 {
 	out := make([][]float64, len(queries))
+	obsH := observedMultiStart(&opt)
+	start := time.Now()
 	personalizedSumMultiStream(ctx, g, queries, opt, false, func(qi int, sum []float64) {
 		out[qi] = sum
 	})
+	if obsH != nil {
+		obsH.Observe(time.Since(start))
+	}
 	return out
 }
 
@@ -76,8 +83,23 @@ func PersonalizedSumMultiCtx(ctx context.Context, g *kg.Graph, queries [][]kg.No
 // release granularity. Barriered callers (PersonalizedSumMulti) keep the
 // kernel.
 func PersonalizedSumMultiStream(ctx context.Context, g *kg.Graph, queries [][]kg.NodeID, opt Options, ready func(qi int, sum []float64)) error {
+	obsH := observedMultiStart(&opt)
+	start := time.Now()
 	personalizedSumMultiStream(ctx, g, queries, opt, true, ready)
+	if obsH != nil {
+		obsH.Observe(time.Since(start))
+	}
 	return ctx.Err()
+}
+
+// observedMultiStart detaches opt's solve histogram so the batch is
+// observed exactly once at the entry point — the uniform-ablation path
+// inside personalizedSumMultiStream delegates to PersonalizedSumCtx per
+// query, which would otherwise also observe each delegate.
+func observedMultiStart(opt *Options) *obs.Histogram {
+	h := opt.SolveObs
+	opt.SolveObs = nil
+	return h
 }
 
 // personalizedSumMultiStream is the shared engine behind the barriered

@@ -56,8 +56,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/kg"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/topk"
 )
@@ -97,6 +99,13 @@ type Options struct {
 	// solved against one epoch are never replayed against another;
 	// single-graph callers may leave it empty.
 	CacheTag string
+
+	// SolveObs, when non-nil, receives one observation per
+	// PersonalizedSum(Ctx) call and one per multi-source batch solve —
+	// the wall time of the whole solve, cache consults included (a fully
+	// cached resolve is still a solve the caller waited on). Observation
+	// is a few atomic adds; nil costs one branch.
+	SolveObs *obs.Histogram
 
 	// gatherWorkers is the resolved per-run gather parallelism, set by the
 	// exported entry points before personalizedInto runs.
@@ -417,6 +426,17 @@ func PersonalizedSum(g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 // the seed cache. While ctx stays live the output is bitwise identical to
 // PersonalizedSum.
 func PersonalizedSumCtx(ctx context.Context, g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
+	if opt.SolveObs == nil {
+		return personalizedSumCtx(ctx, g, seeds, opt)
+	}
+	start := time.Now()
+	sum := personalizedSumCtx(ctx, g, seeds, opt)
+	opt.SolveObs.Observe(time.Since(start))
+	return sum
+}
+
+// personalizedSumCtx is PersonalizedSumCtx without the stage timer.
+func personalizedSumCtx(ctx context.Context, g *kg.Graph, seeds []kg.NodeID, opt Options) []float64 {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
 	sum := make([]float64, n)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -130,6 +131,35 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	s0 := "booting"
 	f.status.Store(&s0)
 	return f, nil
+}
+
+// RegisterMetrics registers the follower's replication gauges on reg —
+// apply lag in epochs (how far the replica trails the primary's durable
+// epoch at last connect), the applied epoch itself, and readiness as
+// 0/1. ncserved passes its server registry here so the gauges ride the
+// same GET /metrics as the request series. GaugeFuncs read the
+// follower's atomics at scrape time; nothing is added to the apply path.
+func (f *Follower) RegisterMetrics(reg *obs.Registry) {
+	reg.NewGaugeFunc("nc_repl_lag_epochs",
+		"Epochs the follower trails the primary's durable epoch (0 when caught up).",
+		func() float64 {
+			applied, target := f.applied.Load(), f.target.Load()
+			if target > applied {
+				return float64(target - applied)
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("nc_repl_applied_epoch",
+		"Last epoch the follower applied.",
+		func() float64 { return float64(f.applied.Load()) })
+	reg.NewGaugeFunc("nc_repl_ready",
+		"Follower readiness (1 = serving, 0 = catching up, resyncing, or diverged).",
+		func() float64 {
+			if f.ready.Load() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Engine returns the replica engine, nil until the first bootstrap

@@ -21,6 +21,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Routing defaults; all overridable per RouterConfig.
@@ -84,6 +86,14 @@ type Router struct {
 	by      map[string]*backendState
 	order   []*backendState // constructor order, for probes and statsz
 	primary *backendState   // nil when cfg.Primary == ""
+
+	// met is the router's own registry behind GET /metrics: per-backend
+	// try latency (whose _count is the per-backend try total), plus
+	// hedge and all-replicas-failed counters. Series are registered at
+	// NewRouter; the proxy path only touches held pointers.
+	met       *obs.Registry
+	hedges    *obs.Counter
+	exhausted *obs.Counter
 }
 
 // backendState is one replica's health ledger.
@@ -94,7 +104,8 @@ type backendState struct {
 	reqFails     atomic.Int32
 	breakerUntil atomic.Int64 // unix nanos; 0 = closed
 	epoch        atomic.Uint64
-	served       atomic.Int64 // final responses sent from this backend
+	served       *obs.Counter   // final responses sent from this backend
+	tries        *obs.Histogram // per-try proxy latency, success or not
 }
 
 // available reports whether routing should offer this backend a
@@ -136,7 +147,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	rt := &Router{cfg: cfg, by: make(map[string]*backendState, len(cfg.Backends))}
+	rt := &Router{cfg: cfg, by: make(map[string]*backendState, len(cfg.Backends)), met: obs.NewRegistry()}
+	rt.hedges = rt.met.NewCounter("nc_router_hedges_total", "Hedged read attempts fired.")
+	rt.exhausted = rt.met.NewCounter("nc_router_exhausted_total", "Reads for which every candidate backend failed.")
 	names := make([]string, 0, len(cfg.Backends))
 	for _, b := range cfg.Backends {
 		if b.Name == "" || b.URL == "" {
@@ -145,7 +158,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		if _, dup := rt.by[b.Name]; dup {
 			return nil, fmt.Errorf("repl: duplicate backend name %q", b.Name)
 		}
-		bs := &backendState{name: b.Name, url: trimSlash(b.URL)}
+		bs := &backendState{
+			name: b.Name, url: trimSlash(b.URL),
+			served: rt.met.NewCounter("nc_router_served_total",
+				"Final responses sent to clients, by originating backend.", "backend", b.Name),
+			tries: rt.met.NewHistogram("nc_router_try_seconds",
+				"Per-try proxy latency in seconds, by backend (the _count is the try total).", "backend", b.Name),
+		}
 		// Optimistic until the first probe round: a cold router must not
 		// refuse the whole fleet for a probe interval.
 		bs.healthy.Store(true)
@@ -246,6 +265,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/ingest", rt.handleIngest)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/statsz", rt.handleStatsz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
 	return mux
 }
 
@@ -354,6 +374,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request, hedgeable b
 			hedgeTimer = nil
 			if !hedged && next < len(candidates) {
 				hedged = true
+				rt.hedges.Inc()
 				rt.cfg.Logf("router: hedging %s after %v to %s", r.URL.Path, rt.cfg.HedgeAfter, candidates[next].name)
 				launch(candidates[next])
 				next++
@@ -363,7 +384,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request, hedgeable b
 			outstanding--
 			if a.err == nil && !retryableStatus(a.resp.status) {
 				rt.recordOutcome(a.b, a.resp.status)
-				a.b.served.Add(1)
+				a.b.served.Inc()
 				a.resp.writeTo(w)
 				return
 			}
@@ -390,9 +411,15 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request, hedgeable b
 	}
 	// Every candidate failed. A buffered replica response (e.g. a 503
 	// with its honest Retry-After) beats a synthesized 502.
+	rt.exhausted.Inc()
 	if lastResp != nil {
 		lastResp.writeTo(w)
 		return
+	}
+	// No backend produced bytes; name the last one tried so the client's
+	// error report still points somewhere.
+	if next > 0 {
+		w.Header().Set("X-NC-Backend", candidates[next-1].name)
 	}
 	msg := "all replicas failed"
 	if lastErr != nil {
@@ -456,6 +483,8 @@ func (rt *Router) recordOutcome(b *backendState, status int) {
 // passing through the headers that matter (X-Min-Epoch for
 // read-your-writes, X-Request-ID for tracing, Content-Type).
 func (rt *Router) forward(ctx context.Context, b *backendState, orig *http.Request, body []byte) (*bufferedResp, error) {
+	start := time.Now()
+	defer func() { b.tries.Observe(time.Since(start)) }()
 	req, err := http.NewRequestWithContext(ctx, orig.Method, b.url+orig.URL.Path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -481,6 +510,11 @@ func (rt *Router) forward(ctx context.Context, b *backendState, orig *http.Reque
 		}
 	}
 	br.header.Set("X-Served-By", b.name)
+	// X-NC-Backend names the backend that produced this response; it
+	// rides along whether the response wins the race (success) or is
+	// replayed as the best evidence after every candidate failed, so a
+	// client always learns which replica answered — or last refused.
+	br.header.Set("X-NC-Backend", b.name)
 	return br, nil
 }
 
@@ -543,7 +577,7 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			BreakerOpen: time.Now().UnixNano() < b.breakerUntil.Load(),
 			ProbeFails:  b.probeFails.Load(),
 			Epoch:       b.epoch.Load(),
-			Served:      b.served.Load(),
+			Served:      b.served.Value(),
 		})
 	}
 	primary := ""
@@ -551,6 +585,23 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		primary = rt.primary.name
 	}
 	writeRouterJSON(w, http.StatusOK, map[string]any{"primary": primary, "backends": rows})
+}
+
+// Metrics returns the router's registry (per-backend try latency,
+// hedge/exhausted counters) for embedding or tests; GET /metrics
+// exposes it in Prometheus text form.
+func (rt *Router) Metrics() *obs.Registry { return rt.met }
+
+// handleMetrics is GET /metrics for the router process itself.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeRouterJSON(w, http.StatusMethodNotAllowed, routerError{Error: "GET only"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	_ = rt.met.WritePrometheus(w)
 }
 
 // requestKey derives the routing key for a read: the canonicalized

@@ -445,3 +445,52 @@ func TestMinEpochHeaderForwarded(t *testing.T) {
 		t.Fatalf("client saw X-Replica-Epoch %q, want 41", got)
 	}
 }
+
+// TestBackendHeaderNamesChosenBackend: every read response names the
+// backend the router settled on in X-NC-Backend — the server that
+// answered on success, and the slot whose response was replayed when
+// every slot failed.
+func TestBackendHeaderNamesChosenBackend(t *testing.T) {
+	reps, rt := testFleet(t, []string{"primary", "r1", "r2"}, nil)
+	order := readOrder(rt)
+
+	rec := doRouter(rt, http.MethodPost, "/v1/search", searchBody, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-NC-Backend"); got != order[0] {
+		t.Fatalf("X-NC-Backend %q, want the owner %q", got, order[0])
+	}
+
+	for _, f := range reps {
+		f.status.Store(http.StatusServiceUnavailable)
+	}
+	rec = doRouter(rt, http.MethodPost, "/v1/search", searchBody, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want a replayed 503", rec.Code)
+	}
+	if rec.Header().Get("X-NC-Backend") == "" {
+		t.Fatal("final 503 does not name the chosen backend")
+	}
+}
+
+// TestRouterMetricsExposition: the router's own /metrics carries the
+// per-backend served counters and try-latency histograms.
+func TestRouterMetricsExposition(t *testing.T) {
+	_, rt := testFleet(t, []string{"primary", "r1"}, nil)
+	if rec := doRouter(rt, http.MethodPost, "/v1/search", searchBody, nil); rec.Code != http.StatusOK {
+		t.Fatalf("search status %d", rec.Code)
+	}
+	rec := doRouter(rt, http.MethodGet, "/metrics", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"nc_router_served_total", "nc_router_try_seconds", "nc_router_hedges_total", "nc_router_exhausted_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("router scrape missing %s:\n%s", want, body)
+		}
+	}
+}

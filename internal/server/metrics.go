@@ -1,0 +1,204 @@
+// Server-side observability: per-endpoint request counters and latency
+// histograms, the access-log ring, and the GET /metrics + GET /v1/logz
+// handlers that expose them.
+//
+// Every series is registered once at construction; the per-request path
+// resolves its endpointMetrics with a string switch (no map lookup, no
+// allocation) and pays a few atomic adds. The registry is only walked at
+// scrape time.
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// statusClass buckets HTTP statuses for the request counters: 2xx, 4xx,
+// 5xx, and everything else (1xx/3xx — rare enough to share a series).
+var statusClasses = [4]string{"2xx", "4xx", "5xx", "other"}
+
+func classIdx(status int) int {
+	switch {
+	case status >= 200 && status < 300:
+		return 0
+	case status >= 400 && status < 500:
+		return 1
+	case status >= 500:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// endpointMetrics is one route's preregistered series: a counter per
+// status class and a latency histogram.
+type endpointMetrics struct {
+	classes [len(statusClasses)]*obs.Counter
+	lat     *obs.Histogram
+}
+
+// serverMetrics holds the serving layer's registry and every
+// endpointMetrics, resolved by path switch on the hot path.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	search, batch, stream, ingest         endpointMetrics
+	replStream, replSnapshot              endpointMetrics
+	healthz, livez, statsz, metricz, logz endpointMetrics
+	other                                 endpointMetrics
+
+	shed *obs.Counter // admission-gate rejections
+}
+
+func newEndpointMetrics(reg *obs.Registry, path string) endpointMetrics {
+	var m endpointMetrics
+	for i, class := range statusClasses {
+		m.classes[i] = reg.NewCounter("nc_http_requests_total",
+			"HTTP requests served, by path and status class.",
+			"path", path, "code", class)
+	}
+	m.lat = reg.NewHistogram("nc_http_request_seconds",
+		"HTTP request latency in seconds, by path.", "path", path)
+	return m
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg:          reg,
+		search:       newEndpointMetrics(reg, "/v1/search"),
+		batch:        newEndpointMetrics(reg, "/v1/batch"),
+		stream:       newEndpointMetrics(reg, "/v1/stream"),
+		ingest:       newEndpointMetrics(reg, "/v1/ingest"),
+		replStream:   newEndpointMetrics(reg, "/v1/repl/stream"),
+		replSnapshot: newEndpointMetrics(reg, "/v1/repl/snapshot"),
+		healthz:      newEndpointMetrics(reg, "/healthz"),
+		livez:        newEndpointMetrics(reg, "/livez"),
+		statsz:       newEndpointMetrics(reg, "/statsz"),
+		metricz:      newEndpointMetrics(reg, "/metrics"),
+		logz:         newEndpointMetrics(reg, "/v1/logz"),
+		other:        newEndpointMetrics(reg, "other"),
+		shed: reg.NewCounter("nc_http_shed_total",
+			"Requests rejected by the admission gate."),
+	}
+}
+
+// endpoint maps a request path to its preregistered series. Unknown
+// paths (including /debug/pprof/) share the "other" series, so the
+// cardinality of the exposition is fixed at construction — a scanner
+// probing random URLs cannot grow it.
+func (m *serverMetrics) endpoint(path string) *endpointMetrics {
+	switch path {
+	case "/v1/search":
+		return &m.search
+	case "/v1/batch":
+		return &m.batch
+	case "/v1/stream":
+		return &m.stream
+	case "/v1/ingest":
+		return &m.ingest
+	case "/v1/repl/stream":
+		return &m.replStream
+	case "/v1/repl/snapshot":
+		return &m.replSnapshot
+	case "/healthz":
+		return &m.healthz
+	case "/livez":
+		return &m.livez
+	case "/statsz":
+		return &m.statsz
+	case "/metrics":
+		return &m.metricz
+	case "/v1/logz":
+		return &m.logz
+	default:
+		return &m.other
+	}
+}
+
+// Metrics returns the server's own registry — request counters, latency
+// histograms, shed counter — so callers (ncserved wires follower lag
+// here) can register process-level series for exposition on /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// AccessLog returns the server's ring of recent requests.
+func (s *Server) AccessLog() *obs.AccessLog { return s.accessLog }
+
+// handleMetrics is GET /metrics: Prometheus text exposition of the
+// server registry followed by the engine's (when armed). Family names
+// are disjoint by construction (nc_http_* vs nc_stage_*/nc_request_*),
+// so concatenating the two registries yields a well-formed exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only", RequestID: requestIDFrom(r.Context())})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := s.met.reg.WritePrometheus(w); err != nil {
+		return // client went away mid-scrape; nothing to salvage
+	}
+	if eng := s.engine(); eng != nil {
+		_ = eng.Metrics().WritePrometheus(w)
+	}
+}
+
+// logzResponse is the GET /v1/logz payload: the ring's recent requests,
+// oldest first, plus the all-time total so a poller can tell how much
+// the ring has dropped between scrapes.
+type logzResponse struct {
+	Total   uint64       `json:"total"`
+	Records []obs.Record `json:"records"`
+}
+
+// handleLogz is GET /v1/logz: drain (non-consuming) the access-log ring.
+// ?n= bounds the returned records to the newest n.
+func (s *Server) handleLogz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only", RequestID: requestIDFrom(r.Context())})
+		return
+	}
+	max := s.accessLog.Cap()
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, r, badRequestf("bad n=%q", v))
+			return
+		}
+		if n < max {
+			max = n
+		}
+	}
+	recs := s.accessLog.Drain(max)
+	if recs == nil {
+		recs = []obs.Record{} // render as [], not null
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, logzResponse{Total: s.accessLog.Total(), Records: recs})
+}
+
+// metricsSummaries flattens every histogram the process exposes —
+// server registry plus the engine's when armed — into name → summary
+// for the /statsz JSON view. Same-name families across the two
+// registries (none today) would merge.
+func (s *Server) metricsSummaries() map[string]obs.Summary {
+	snaps := s.met.reg.Histograms()
+	if eng := s.engine(); eng != nil {
+		for name, snap := range eng.Metrics().Histograms() {
+			if have, ok := snaps[name]; ok {
+				snaps[name] = have.Merge(snap)
+			} else {
+				snaps[name] = snap
+			}
+		}
+	}
+	out := make(map[string]obs.Summary, len(snaps))
+	for name, snap := range snaps {
+		out[name] = snap.Summarize()
+	}
+	return out
+}

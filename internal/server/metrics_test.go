@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// scrape GETs /metrics and returns the body, failing on any non-200 or
+// wrong content type.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue sums every sample of the named family (with an optional
+// label-substring filter) in a scrape.
+func metricValue(t *testing.T, body, name, labelSub string) float64 {
+	t.Helper()
+	var total float64
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer family name sharing the prefix
+		}
+		if labelSub != "" && !strings.Contains(line, labelSub) {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		total += v
+	}
+	return total
+}
+
+// TestMetricsEndpoint: the exposition parses, covers the engine's stage
+// and request families plus the server's per-endpoint counters, and the
+// request counter is monotone across scrapes.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Barack Obama"},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, data)
+	}
+
+	body := scrape(t, ts)
+	// Structural check: every sample line is "name[{labels}] value".
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			t.Fatalf("line %d unparseable: %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("line %d bad value: %q", ln+1, line)
+		}
+	}
+	// The engine families ride the same scrape as the server's.
+	for _, want := range []string{
+		`nc_stage_seconds_count{stage="ctx_select"}`,
+		`nc_stage_seconds_count{stage="compare"}`,
+		`nc_stage_seconds_count{stage="ppr_solve"}`,
+		`nc_request_seconds_count{op="do"}`,
+		"nc_wal_fsync_seconds_count",
+		"nc_http_shed_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+	if got := metricValue(t, body, "nc_stage_seconds_count", `stage="compare"`); got < 1 {
+		t.Errorf("compare stage count = %v after one search", got)
+	}
+
+	before := metricValue(t, body, "nc_http_requests_total", `path="/v1/search"`)
+	if resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Barack Obama"},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second search status %d: %s", resp.StatusCode, data)
+	}
+	after := metricValue(t, scrape(t, ts), "nc_http_requests_total", `path="/v1/search"`)
+	if after <= before {
+		t.Fatalf("request counter not monotone: %v -> %v", before, after)
+	}
+}
+
+// TestMetricsEndpointPending: a booting server (no engine) still serves
+// its own registry.
+func TestMetricsEndpointPending(t *testing.T) {
+	s := NewPending(quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := scrape(t, ts)
+	if !strings.Contains(body, "nc_http_requests_total") {
+		t.Fatal("pending server scrape missing nc_http_requests_total")
+	}
+	if strings.Contains(body, "nc_stage_seconds") {
+		t.Fatal("pending server scrape carries engine families with no engine set")
+	}
+}
+
+// TestLogzEndpoint: requests land in the ring with their id and status;
+// ?n= bounds the tail; the drain is non-consuming.
+func TestLogzEndpoint(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Barack Obama"},
+	})
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err == nil {
+		resp.Body.Close()
+	}
+
+	get := func(url string) logzResponse {
+		t.Helper()
+		resp, err := ts.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("logz status %d", resp.StatusCode)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("logz Cache-Control %q", cc)
+		}
+		var lr logzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+			t.Fatal(err)
+		}
+		return lr
+	}
+
+	lr := get(ts.URL + "/v1/logz")
+	if len(lr.Records) < 2 {
+		t.Fatalf("expected ≥2 records, got %d", len(lr.Records))
+	}
+	var sawSearch bool
+	for _, rec := range lr.Records {
+		if rec.Path == "/v1/search" && rec.Status == http.StatusOK && rec.RequestID != "" {
+			sawSearch = true
+		}
+	}
+	if !sawSearch {
+		t.Fatalf("no /v1/search record in %+v", lr.Records)
+	}
+
+	if got := get(ts.URL + "/v1/logz?n=1"); len(got.Records) != 1 {
+		t.Fatalf("n=1 returned %d records", len(got.Records))
+	}
+	// Non-consuming: the same tail (plus the logz hits themselves) is
+	// still there.
+	if again := get(ts.URL + "/v1/logz"); len(again.Records) < len(lr.Records) {
+		t.Fatalf("drain consumed the ring: %d then %d", len(lr.Records), len(again.Records))
+	}
+}
+
+// TestStatszMetricsKey: /statsz carries the histogram summaries under
+// "metrics" and the no-store header.
+func TestStatszMetricsKey(t *testing.T) {
+	s := New(testEngine(notable.Options{}), quietCfg())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/search", map[string]any{
+		"entities": []string{"Angela Merkel", "Barack Obama"},
+	})
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("statsz Cache-Control %q", cc)
+	}
+	var body struct {
+		Metrics map[string]obs.Summary `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	do, ok := body.Metrics["nc_request_seconds"]
+	if !ok {
+		t.Fatalf("statsz metrics missing nc_request_seconds: %v", body.Metrics)
+	}
+	if do.Count < 1 || do.P50MS <= 0 {
+		t.Fatalf("implausible summary after one search: %+v", do)
+	}
+	if _, ok := body.Metrics["nc_http_request_seconds"]; !ok {
+		t.Fatal("statsz metrics missing the server-side nc_http_request_seconds")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+
+	"repro/internal/obs"
 	"sync/atomic"
 	"time"
 )
@@ -75,8 +77,23 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
+		dur := time.Since(start)
+		// One counter bump, one histogram observe, one ring write — all
+		// preregistered, no allocation beyond the strings the request
+		// already owns.
+		ep := s.met.endpoint(r.URL.Path)
+		ep.classes[classIdx(status)].Inc()
+		ep.lat.Observe(dur)
+		s.accessLog.Add(obs.Record{
+			Time:           start,
+			Method:         r.Method,
+			Path:           r.URL.Path,
+			RequestID:      id,
+			Status:         status,
+			DurationMicros: dur.Microseconds(),
+		})
 		s.cfg.Logf("server: %s %s %d %.1fms rid=%s", r.Method, r.URL.Path, status,
-			float64(time.Since(start).Microseconds())/1000, id)
+			float64(dur.Microseconds())/1000, id)
 	})
 }
 
@@ -139,6 +156,7 @@ func (s *Server) engineEndpoint(h http.HandlerFunc) http.Handler {
 		case s.admit <- struct{}{}:
 		default:
 			s.shed.Add(1)
+			s.met.shed.Inc()
 			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error:     "overloaded, retry later",

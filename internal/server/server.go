@@ -44,6 +44,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	crand "crypto/rand"
 	"encoding/hex"
@@ -56,13 +57,17 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 )
 
@@ -171,6 +176,13 @@ type Server struct {
 	reqSeq   atomic.Uint64
 	reqNonce string
 	start    time.Time
+
+	// met and accessLog are the serving layer's observability state:
+	// per-endpoint counters/histograms behind GET /metrics, and the ring
+	// of recent requests behind GET /v1/logz. Both are built once in
+	// NewPending; the per-request path only touches preregistered series.
+	met       *serverMetrics
+	accessLog *obs.AccessLog
 }
 
 // Readiness is the serving-fitness state behind /healthz: distinct from
@@ -211,6 +223,8 @@ func NewPending(cfg Config) *Server {
 		admit:      make(chan struct{}, cfg.MaxInFlight),
 		reqNonce:   newNonce(),
 		start:      time.Now(),
+		met:        newServerMetrics(),
+		accessLog:  obs.NewAccessLog(1024),
 	}
 	s.http = &http.Server{
 		Addr:    cfg.Addr,
@@ -253,6 +267,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/livez", s.handleLivez)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/logz", s.handleLogz)
 	mux.Handle("/v1/search", s.engineEndpoint(s.handleSearch))
 	mux.Handle("/v1/batch", s.engineEndpoint(s.handleBatch))
 	mux.Handle("/v1/stream", s.engineEndpoint(s.handleStream))
@@ -403,6 +419,10 @@ type statszResponse struct {
 	MaxInFlight   int     `json:"max_in_flight"`
 	Shed          int64   `json:"shed_total"`
 	Goroutines    int     `json:"goroutines"`
+	// RSSBytes is the process's resident set size read from
+	// /proc/self/statm; 0 where procfs is unavailable. The soak harness
+	// keys its leak thresholds off this.
+	RSSBytes int64 `json:"rss_bytes"`
 	// Live-graph gauges: the current epoch, the overlay's applied
 	// add/delete counts since the last base rebuild, completed rebuilds,
 	// and the last compaction's wall-clock.
@@ -435,6 +455,10 @@ type statszResponse struct {
 	DurableEpoch uint64         `json:"durable_epoch"`
 	Executor     exec.PoolStats `json:"executor"`
 	Cache        qcache.Stats   `json:"cache"`
+	// Metrics summarizes every latency histogram the process exposes
+	// (count, mean, p50/p95/p99 in milliseconds) — the JSON-side view of
+	// what GET /metrics exposes in full.
+	Metrics map[string]obs.Summary `json:"metrics"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -445,9 +469,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Shed:          s.shed.Load(),
 		Goroutines:    runtime.NumGoroutine(),
+		RSSBytes:      readRSSBytes(),
 		ReadOnly:      s.cfg.ReadOnly,
 		Executor:      exec.Default().Stats(),
+		Metrics:       s.metricsSummaries(),
 	}
+	// Stats are point-in-time: an intermediary caching them would feed
+	// tuning loops stale gauges.
+	w.Header().Set("Cache-Control", "no-store")
 	eng := s.engine()
 	if eng == nil {
 		// Still booting: serve the process-level gauges rather than refuse —
@@ -482,6 +511,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// readRSSBytes returns the resident set size from /proc/self/statm
+// (second field, in pages), or 0 on platforms without procfs — callers
+// treat 0 as "unknown", not "no memory".
+func readRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	f := strings.Fields(string(b))
+	if len(f) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
 // errorResponse is the JSON error body every non-200 answer carries.
 type errorResponse struct {
 	Error     string   `json:"error"`
@@ -489,15 +537,33 @@ type errorResponse struct {
 	Missing   []string `json:"missing,omitempty"`
 }
 
-// writeJSON writes v with the given status. Encoding into a buffer first
-// would let us turn encode errors into 500s, but every payload here is
-// built from plain structs — an encode error is a programming bug that
-// the recovery middleware would catch anyway.
+// encBufPool recycles the buffers writeJSON encodes into: /statsz and
+// /v1/logz payloads run to tens of kilobytes, and re-growing a fresh
+// buffer per response is the dominant allocation of a stats poller's
+// steady state.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v into a pooled buffer, then writes it with the
+// given status. Buffering first means an encode error — a programming
+// bug, every payload here is plain structs — surfaces as a clean 500
+// instead of a half-written 200, and the response carries an accurate
+// Content-Length.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= 1<<20 { // don't pin a pathological payload forever
+			buf.Reset()
+			encBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeError maps err to a status + JSON body. The mapping is by error

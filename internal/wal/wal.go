@@ -55,6 +55,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Log file identity.
@@ -105,6 +107,12 @@ type Options struct {
 	// Logf receives recovery and checkpoint log lines (default
 	// log.Printf; tests pass t.Logf or a no-op).
 	Logf func(format string, args ...any)
+	// FsyncObs, when non-nil, receives the duration of every append-path
+	// fsync — the disk-health distribution behind the
+	// nc_wal_fsync_seconds histogram. Observation is a few atomic adds
+	// on the sync path (which just paid a disk flush); nil costs one
+	// branch.
+	FsyncObs *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -455,6 +463,9 @@ func (l *Log) syncLocked() {
 	start := time.Now()
 	err := l.f.Sync()
 	l.lastFsync = time.Since(start)
+	if l.opt.FsyncObs != nil {
+		l.opt.FsyncObs.Observe(l.lastFsync)
+	}
 	if err != nil {
 		l.fail(fmt.Errorf("wal: fsync: %w", err))
 		return
@@ -463,6 +474,16 @@ func (l *Log) syncLocked() {
 	l.durableEpoch = l.lastEpoch
 	l.cond.Broadcast()
 	l.bumpLocked()
+}
+
+// SetFsyncObs attaches (or replaces) the fsync latency histogram after
+// Open — for callers whose metrics registry is built from recovered
+// state and therefore after the log itself (NewDurableEngine). Safe
+// against concurrent syncs; observations start with the next fsync.
+func (l *Log) SetFsyncObs(h *obs.Histogram) {
+	l.mu.Lock()
+	l.opt.FsyncObs = h
+	l.mu.Unlock()
 }
 
 // fail records the sticky error and wakes every waiter. Caller holds l.mu.

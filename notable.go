@@ -142,12 +142,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ctxsel"
 	"repro/internal/dist"
 	"repro/internal/kg"
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/ppr"
 	"repro/internal/qcache"
 	"repro/internal/search"
@@ -336,7 +338,54 @@ type Engine struct {
 	// graph) builds no strings per request. Misses (an epoch bump or an
 	// override mix) just rebuild; correctness never depends on a hit.
 	selMemo atomic.Pointer[optState]
+	// met is the engine's always-on metrics bundle: per-stage and
+	// end-to-end latency histograms registered once here so the serving
+	// hot path pays only atomic adds. Exposed via Metrics().
+	met *engineMetrics
 }
+
+// engineMetrics holds the engine's latency histograms and their
+// registry. The histogram pointers are per-engine constants — threaded
+// into ppr/core/wal options at request-translation time — so the
+// selMemo'd selector stays valid and no request ever consults the
+// registry.
+type engineMetrics struct {
+	reg      *obs.Registry
+	solve    *obs.Histogram // nc_stage_seconds{stage="ppr_solve"}
+	sel      *obs.Histogram // nc_stage_seconds{stage="ctx_select"}
+	compare  *obs.Histogram // nc_stage_seconds{stage="compare"}
+	stage    *core.StageObs // sel+compare, threaded via core.Options.Obs
+	do       *obs.Histogram // nc_request_seconds{op="do"}
+	doBatch  *obs.Histogram // nc_request_seconds{op="do_batch"}
+	doStream *obs.Histogram // nc_request_seconds{op="do_stream"}
+	ingest   *obs.Histogram // nc_ingest_seconds
+	fsync    *obs.Histogram // nc_wal_fsync_seconds
+}
+
+func newEngineMetrics() *engineMetrics {
+	reg := obs.NewRegistry()
+	const stageHelp = "Pipeline stage latency in seconds."
+	const reqHelp = "End-to-end engine request latency in seconds."
+	m := &engineMetrics{
+		reg:      reg,
+		solve:    reg.NewHistogram("nc_stage_seconds", stageHelp, "stage", "ppr_solve"),
+		sel:      reg.NewHistogram("nc_stage_seconds", stageHelp, "stage", "ctx_select"),
+		compare:  reg.NewHistogram("nc_stage_seconds", stageHelp, "stage", "compare"),
+		do:       reg.NewHistogram("nc_request_seconds", reqHelp, "op", "do"),
+		doBatch:  reg.NewHistogram("nc_request_seconds", reqHelp, "op", "do_batch"),
+		doStream: reg.NewHistogram("nc_request_seconds", reqHelp, "op", "do_stream"),
+		ingest:   reg.NewHistogram("nc_ingest_seconds", "ApplyTriples ingest latency in seconds."),
+		fsync:    reg.NewHistogram("nc_wal_fsync_seconds", "WAL fsync latency in seconds (durable engines only)."),
+	}
+	m.stage = &core.StageObs{Select: m.sel, Compare: m.compare}
+	return m
+}
+
+// Metrics returns the engine's metrics registry — stage histograms
+// (ppr_solve, ctx_select, compare), end-to-end request histograms,
+// ingest and WAL-fsync latency — for exposition alongside a server's
+// own registry (internal/server merges it into GET /metrics).
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 
 // optState is one memoized translation of effective options at an epoch.
 type optState struct {
@@ -381,6 +430,7 @@ func newEngine(g *Graph, opt Options, startEpoch uint64) *Engine {
 	e := &Engine{
 		opt:   opt,
 		cache: qcache.NewSharded(cfg),
+		met:   newEngineMetrics(),
 	}
 	e.vg = kg.NewVersioned(g, kg.VersionedOptions{
 		TypePredicate:    typePred,
@@ -419,6 +469,14 @@ func newEngine(g *Graph, opt Options, startEpoch uint64) *Engine {
 // acknowledged as durable, and the engine refuses further ingest until
 // restarted (searches continue unharmed).
 func (e *Engine) ApplyTriples(ctx context.Context, adds, dels []Triple) (uint64, error) {
+	start := time.Now()
+	epoch, err := e.applyTriples(ctx, adds, dels)
+	e.met.ingest.Observe(time.Since(start))
+	return epoch, err
+}
+
+// applyTriples is ApplyTriples without the ingest timer.
+func (e *Engine) applyTriples(ctx context.Context, adds, dels []Triple) (uint64, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return e.vg.View().Epoch, err
@@ -541,6 +599,7 @@ func (e *Engine) selectorFor(opt Options, tag string) ctxsel.Selector {
 			Damping:   opt.Damping,
 			SeedCache: e.seedCache(),
 			CacheTag:  tag,
+			SolveObs:  e.met.solve,
 		}}
 	case SelectorSimRank:
 		return ctxsel.SimRank{}
@@ -848,6 +907,7 @@ func (e *Engine) coreOptionsFor(opt Options, view *kg.View) core.Options {
 		Seed:        opt.Seed,
 		CacheTag:    st.tag,
 		TestCache:   e.cache,
+		Obs:         e.met.stage,
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kg"
@@ -156,6 +157,14 @@ type Outcome struct {
 // the partial Result (context + labels tested so far, TopK-trimmed)
 // alongside a *DegradedError instead; see Query.Degrade.
 func (e *Engine) Do(ctx context.Context, q Query) (Result, error) {
+	start := time.Now()
+	res, err := e.doOne(ctx, q)
+	e.met.do.Observe(time.Since(start))
+	return res, err
+}
+
+// doOne is Do without the end-to-end request timer.
+func (e *Engine) doOne(ctx context.Context, q Query) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -190,6 +199,14 @@ func (e *Engine) Do(ctx context.Context, q Query) (Result, error) {
 // error wrapping ErrEmptyQuery and naming the index. A cancelled ctx
 // stops every group within one sweep or label test and returns ctx.Err().
 func (e *Engine) DoBatch(ctx context.Context, qs []Query) ([]Result, error) {
+	start := time.Now()
+	rs, err := e.doBatch(ctx, qs)
+	e.met.doBatch.Observe(time.Since(start))
+	return rs, err
+}
+
+// doBatch is DoBatch without the end-to-end request timer.
+func (e *Engine) doBatch(ctx context.Context, qs []Query) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -245,8 +262,11 @@ func (e *Engine) DoStream(ctx context.Context, qs []Query) <-chan Outcome {
 	}
 	view := e.vg.View()                       // pin: the stream's queries all run on this epoch
 	groups, _ := e.groupRequests(valid, view) // already validated: err impossible
+	start := time.Now()
 	go func() {
 		defer close(ch)
+		// One observation per stream: first query in to last outcome out.
+		defer func() { e.met.doStream.Observe(time.Since(start)) }()
 		for _, grp := range groups {
 			grp := grp
 			core.FindNCStream(ctx, view.G, grp.nodes, grp.copt, func(j int, res Result, err error) {

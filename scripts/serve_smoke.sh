@@ -41,6 +41,33 @@ esac
 
 STATS=$(curl -sf "http://$ADDR/statsz")
 case "$STATS" in *'"in_flight"'*) ;; *) echo "smoke: bad statsz" >&2; exit 1 ;; esac
+case "$STATS" in *'"metrics"'*) ;; *) echo "smoke: statsz carries no metrics key" >&2; exit 1 ;; esac
+
+# /metrics leg: the exposition must parse (every sample line is
+# "name[{labels}] value") and the search counter must be monotone across
+# two requests.
+scrape_search_total() {
+  curl -sf "http://$ADDR/metrics" | awk '
+    /^#/ { next }
+    NF { if (NF < 2 || $NF+0 != $NF) { print "BAD:" $0; exit 1 } }
+    /^nc_http_requests_total\{path="\/v1\/search"/ { sum += $NF }
+    END { print sum+0 }'
+}
+SEARCH_TOTAL_1=$(scrape_search_total)
+case "$SEARCH_TOTAL_1" in
+  BAD:*) echo "smoke: unparseable /metrics line: $SEARCH_TOTAL_1" >&2; exit 1 ;;
+esac
+if [ "$SEARCH_TOTAL_1" -lt 1 ]; then
+  echo "smoke: /metrics shows $SEARCH_TOTAL_1 searches after one search" >&2
+  exit 1
+fi
+METRICS=$(curl -sf "http://$ADDR/metrics")
+for FAM in nc_stage_seconds nc_request_seconds nc_http_request_seconds; do
+  case "$METRICS" in
+    *"$FAM"*) ;;
+    *) echo "smoke: /metrics missing family $FAM" >&2; exit 1 ;;
+  esac
+done
 case "$STATS" in
   *'"graph_epoch":0'*) ;;
   *) echo "smoke: statsz should start at graph_epoch 0: $STATS" >&2; exit 1 ;;
@@ -67,6 +94,17 @@ RESULT=$(curl -sf "http://$ADDR/v1/search" -d '{"entities":["Angela Merkel","Bar
 case "$RESULT" in
   *'"label":"awarded"'*) echo "smoke: post-ingest search sees the new label" ;;
   *) echo "smoke: post-ingest search misses the ingested label: ${RESULT:0:300}" >&2; exit 1 ;;
+esac
+
+SEARCH_TOTAL_2=$(scrape_search_total)
+if [ "$SEARCH_TOTAL_2" -le "$SEARCH_TOTAL_1" ]; then
+  echo "smoke: search counter not monotone: $SEARCH_TOTAL_1 -> $SEARCH_TOTAL_2" >&2
+  exit 1
+fi
+LOGZ=$(curl -sf "http://$ADDR/v1/logz?n=5")
+case "$LOGZ" in
+  *'"/v1/search"'*) echo "smoke: metrics leg passed ($SEARCH_TOTAL_1 -> $SEARCH_TOTAL_2 searches)" ;;
+  *) echo "smoke: logz tail carries no search record: $LOGZ" >&2; exit 1 ;;
 esac
 
 # Graceful drain: SIGTERM must end the process with exit 0.
